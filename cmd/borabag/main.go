@@ -1,0 +1,291 @@
+// Command borabag is a rosbag-like CLI over the BORA middleware.
+//
+// Usage:
+//
+//	borabag record -o out.bag -seconds 5 [-scale 1000]
+//	borabag info file.bag
+//	borabag duplicate -backend DIR -name bag1 file.bag
+//	borabag ls -backend DIR
+//	borabag topics -backend DIR -name bag1
+//	borabag query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
+//	borabag export -backend DIR -name bag1 -o out.bag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/rosbag"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "duplicate":
+		err = cmdDuplicate(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "topics":
+		err = cmdTopics(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "reindex":
+		err = cmdReindex(os.Args[2:])
+	case "rebag":
+		err = cmdRebag(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "baginfo":
+		err = cmdBagInfo(os.Args[2:])
+	case "play":
+		err = cmdPlay(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "borabag:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: borabag <command> [flags]
+
+commands:
+  record     synthesize a Handheld-SLAM-like bag (Table II mix)
+  info       print a bag file summary (rosbag info)
+  duplicate  re-organize a bag into a BORA container (Fig 6)
+  ls         list bags on a BORA back end
+  topics     list topics of a BORA bag
+  query      read messages by topics and optional time range (Figs 7-8)
+  export     reconstruct a standard .bag from a container
+  reindex    salvage a damaged or unclosed bag (rosbag reindex)
+  rebag      filter a BORA bag into a new logical bag
+  verify     check a BORA bag's container integrity (CRC + index)
+  baginfo    summarize a BORA bag (rosbag info over the container)
+  play       replay a bag's messages in timestamp order (rosbag play)
+`)
+}
+
+func backendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "", "BORA back-end directory (required)")
+}
+
+func openBackend(dir string) (*core.BORA, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-backend is required")
+	}
+	return core.New(dir, core.Options{})
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "out.bag", "output bag path")
+	seconds := fs.Int("seconds", 5, "seconds of recording to synthesize")
+	scale := fs.Int("scale", 1000, "image payload scale-down divisor (1 = paper sizes)")
+	seed := fs.Int64("seed", 1, "payload random seed")
+	fs.Parse(args)
+	n, err := workload.WriteHandheldSLAMBag(*out, workload.SyntheticOptions{
+		Seconds: *seconds, ScaleDown: *scale, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d messages, %d seconds of the Table II topic mix\n", *out, n, *seconds)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: exactly one bag path required")
+	}
+	start := time.Now()
+	r, f, err := rosbag.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	openTime := time.Since(start)
+	fmt.Print(r.Info())
+	fmt.Printf("open:     %v (traversed %d chunk infos)\n", openTime, r.Stats().ChunkInfosScanned)
+	return nil
+}
+
+func cmdDuplicate(args []string) error {
+	fs := flag.NewFlagSet("duplicate", flag.ExitOnError)
+	backend := backendFlag(fs)
+	name := fs.String("name", "", "logical bag name (default: file base name)")
+	window := fs.Duration("window", time.Second, "coarse time-index window")
+	workers := fs.Int("workers", 0, "organizer worker count (0 = auto)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("duplicate: exactly one bag path required")
+	}
+	src := fs.Arg(0)
+	if *name == "" {
+		base := src
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		*name = strings.TrimSuffix(base, ".bag")
+	}
+	b, err := core.New(*backend, core.Options{TimeWindow: *window, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	_, stats, err := b.Duplicate(src, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("duplicated %s -> %s/%s: %d messages, %d topics, %d bytes in %v\n",
+		src, *backend, *name, stats.Messages, stats.Topics, stats.Bytes, time.Since(start))
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	backend := backendFlag(fs)
+	fs.Parse(args)
+	b, err := openBackend(*backend)
+	if err != nil {
+		return err
+	}
+	names, err := b.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func cmdTopics(args []string) error {
+	fs := flag.NewFlagSet("topics", flag.ExitOnError)
+	backend := backendFlag(fs)
+	name := fs.String("name", "", "logical bag name (required)")
+	fs.Parse(args)
+	b, err := openBackend(*backend)
+	if err != nil {
+		return err
+	}
+	bag, err := b.Open(*name)
+	if err != nil {
+		return err
+	}
+	conns, err := bag.Connections()
+	if err != nil {
+		return err
+	}
+	for _, c := range conns {
+		n, err := bag.MessageCount(c.Topic)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s %8d msgs  %s\n", c.Topic, n, c.Type)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	backend := backendFlag(fs)
+	name := fs.String("name", "", "logical bag name (required)")
+	topicsArg := fs.String("topics", "", "comma-separated topic names (empty = all)")
+	startSec := fs.Float64("start", 0, "start time (seconds since epoch, 0 = bag start)")
+	endSec := fs.Float64("end", 0, "end time (seconds since epoch, 0 = bag end)")
+	quiet := fs.Bool("q", false, "suppress per-message output")
+	fs.Parse(args)
+	b, err := openBackend(*backend)
+	if err != nil {
+		return err
+	}
+	openStart := time.Now()
+	bag, err := b.Open(*name)
+	if err != nil {
+		return err
+	}
+	openTime := time.Since(openStart)
+	var topics []string
+	if *topicsArg != "" {
+		topics = strings.Split(*topicsArg, ",")
+	}
+	var count int
+	var bytes int64
+	emit := func(m core.MessageRef) error {
+		count++
+		bytes += int64(len(m.Data))
+		if !*quiet {
+			fmt.Printf("%s %-32s %d bytes\n", m.Time, m.Conn.Topic, len(m.Data))
+		}
+		return nil
+	}
+	queryStart := time.Now()
+	if *startSec > 0 || *endSec > 0 {
+		st := bagio.TimeFromNanos(int64(*startSec * 1e9))
+		en := bagio.MaxTime
+		if *endSec > 0 {
+			en = bagio.TimeFromNanos(int64(*endSec * 1e9))
+		}
+		err = bag.ReadMessagesTime(topics, st, en, emit)
+	} else {
+		err = bag.ReadMessages(topics, emit)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("open %v, query %v: %d messages, %d bytes (windows scanned: %d)\n",
+		openTime, time.Since(queryStart), count, bytes, bag.Stats().WindowsScanned)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	backend := backendFlag(fs)
+	name := fs.String("name", "", "logical bag name (required)")
+	out := fs.String("o", "export.bag", "output bag path")
+	fs.Parse(args)
+	b, err := openBackend(*backend)
+	if err != nil {
+		return err
+	}
+	bag, err := b.Open(*name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := bag.Export(f, rosbag.WriterOptions{}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("exported %s/%s -> %s\n", *backend, *name, *out)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command borabench regenerates the tables and figures of the BORA
+// paper's evaluation. Each experiment prints the same rows/series the
+// paper reports, produced by the access-path simulators over
+// paper-scale synthetic bag layouts (see DESIGN.md §3 for the
+// hardware-substitution argument).
+//
+// Usage:
+//
+//	borabench -list
+//	borabench -exp fig10
+//	borabench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "borabench:", err)
+		os.Exit(1)
+	}
+}
+
+var errUsage = fmt.Errorf("usage error")
+
+// run executes the CLI against the given argument list and output.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("borabench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "", "run one experiment (e.g. fig10, table1)")
+	all := fs.Bool("all", false, "run every experiment")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: borabench [-list] [-exp <id>] [-all]\n\nexperiments:\n  %s\n",
+			strings.Join(bench.IDs(), "\n  "))
+	}
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+
+	switch {
+	case *list:
+		for _, id := range bench.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	case *exp != "":
+		t, err := bench.Run(*exp)
+		if err != nil {
+			return err
+		}
+		t.Fprint(out)
+		return nil
+	case *all:
+		tables, err := bench.RunAll()
+		for _, t := range tables {
+			t.Fprint(out)
+		}
+		return err
+	default:
+		fs.Usage()
+		return errUsage
+	}
+}

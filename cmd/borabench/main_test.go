@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListContainsAllExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig2", "fig10", "fig17", "ablation-window"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "table3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Handheld SLAM") {
+		t.Errorf("table3 output missing apps:\n%s", sb.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != errUsage {
+		t.Errorf("err = %v, want usage error", err)
+	}
+}

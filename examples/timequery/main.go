@@ -1,0 +1,97 @@
+// Time-range queries: stock rosbag path vs BORA, measured for real.
+//
+// Both systems answer the same two-dimensional queries —
+// (topics, start_time, end_time) — over the same recording. The stock
+// path re-opens the bag (chunk-info traversal) and merge-sorts index
+// entries; BORA opens the container (tag table only) and uses the
+// coarse-grain time index. Real wall-clock times are printed for a
+// stair-step of widening windows, the protocol of Figs 13/14.
+//
+//	go run ./examples/timequery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/rosbag"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bora-timequery-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	src := filepath.Join(dir, "recording.bag")
+	if _, err := workload.WriteHandheldSLAMBag(src, workload.SyntheticOptions{
+		Seconds: 6, ScaleDown: 4000,
+		Writer: rosbag.WriterOptions{ChunkThreshold: 64 * 1024},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := backend.Duplicate(src, "recording"); err != nil {
+		log.Fatal(err)
+	}
+
+	topics := []string{workload.TopicIMU, workload.TopicTF}
+	base := bagio.TimeFromNanos(int64(1_500_000_000) * 1e9)
+	fmt.Printf("query topics %v with widening windows:\n\n", topics)
+	fmt.Printf("%-8s %-22s %-22s %s\n", "window", "stock rosbag", "BORA", "speedup")
+
+	for _, seconds := range []int{1, 2, 4, 6} {
+		end := base.Add(time.Duration(seconds) * time.Second)
+
+		// Stock path: open (chunk-info traversal) + indexed time query.
+		stockStart := time.Now()
+		r, f, err := rosbag.Open(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var stockCount int
+		err = r.ReadMessages(rosbag.Query{Topics: topics, Start: base, End: end}, func(m rosbag.MessageRef) error {
+			stockCount++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stockTime := time.Since(stockStart)
+
+		// BORA path: container open + coarse-grain window query.
+		boraStart := time.Now()
+		bag, err := backend.Open("recording")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var boraCount int
+		err = bag.ReadMessagesTime(topics, base, end, func(m core.MessageRef) error {
+			boraCount++
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		boraTime := time.Since(boraStart)
+
+		if stockCount != boraCount {
+			log.Fatalf("result mismatch: stock %d vs bora %d messages", stockCount, boraCount)
+		}
+		fmt.Printf("%-8s %-22s %-22s %.2fx   (%d msgs, both paths agree)\n",
+			fmt.Sprintf("%ds", seconds),
+			stockTime, boraTime,
+			float64(stockTime)/float64(boraTime), stockCount)
+	}
+}

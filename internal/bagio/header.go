@@ -1,0 +1,223 @@
+// Package bagio implements the on-disk grammar of the ROS bag format
+// version 2.0: length-prefixed records, each carrying a header made of
+// name=value fields and an opaque data block. Higher layers
+// (internal/rosbag) compose these records into chunked, indexed bag files.
+//
+// The format is reproduced from the ROS bag specification:
+//
+//	record  := <header_len:u32le> <header> <data_len:u32le> <data>
+//	header  := field*
+//	field   := <field_len:u32le> <name> '=' <value>
+//
+// Every record header carries an "op" field (one byte) identifying the
+// record type; see the Op* constants.
+package bagio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Magic is the signature line that opens every v2.0 bag file.
+const Magic = "#ROSBAG V2.0\n"
+
+// Record op codes as defined by the bag v2.0 specification.
+const (
+	OpMessageData byte = 0x02 // serialized message bytes
+	OpBagHeader   byte = 0x03 // file-level metadata, padded record
+	OpIndexData   byte = 0x04 // per-connection index for the preceding chunk
+	OpChunk       byte = 0x05 // container of message/connection records
+	OpChunkInfo   byte = 0x06 // chunk summary, written at end of file
+	OpConnection  byte = 0x07 // connection (topic) metadata
+)
+
+// BagHeaderLen is the fixed on-disk length of the bag header record
+// (header + data), so that index_pos can be patched in place after the
+// rest of the file is written. The spec pads the record to 4096 bytes.
+const BagHeaderLen = 4096
+
+// Header is a set of name=value fields attached to a record. Values are
+// raw bytes; integer and time fields use the little-endian encodings
+// provided by the Put*/Get* helpers.
+type Header map[string][]byte
+
+// Field name constants used across record types.
+const (
+	FieldOp          = "op"
+	FieldIndexPos    = "index_pos"
+	FieldConnCount   = "conn_count"
+	FieldChunkCount  = "chunk_count"
+	FieldCompression = "compression"
+	FieldSize        = "size"
+	FieldConn        = "conn"
+	FieldTopic       = "topic"
+	FieldTime        = "time"
+	FieldVer         = "ver"
+	FieldCount       = "count"
+	FieldChunkPos    = "chunk_pos"
+	FieldStartTime   = "start_time"
+	FieldEndTime     = "end_time"
+)
+
+// Compression identifiers stored in chunk records. The reference
+// implementation supports "none", "bz2" and "lz4"; this implementation
+// supports "none" and "gz" (stdlib compress/gzip standing in for bz2).
+const (
+	CompressionNone = "none"
+	CompressionGZ   = "gz"
+)
+
+// SetOp stores the record op code.
+func (h Header) SetOp(op byte) { h[FieldOp] = []byte{op} }
+
+// Op returns the record op code, or an error if the field is missing or
+// malformed.
+func (h Header) Op() (byte, error) {
+	v, ok := h[FieldOp]
+	if !ok {
+		return 0, fmt.Errorf("bagio: header missing %q field", FieldOp)
+	}
+	if len(v) != 1 {
+		return 0, fmt.Errorf("bagio: op field has length %d, want 1", len(v))
+	}
+	return v[0], nil
+}
+
+// PutU32 stores a little-endian uint32 field.
+func (h Header) PutU32(name string, v uint32) {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	h[name] = b
+}
+
+// PutU64 stores a little-endian uint64 field.
+func (h Header) PutU64(name string, v uint64) {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	h[name] = b
+}
+
+// PutString stores a string-valued field.
+func (h Header) PutString(name, v string) { h[name] = []byte(v) }
+
+// PutTime stores a ROS time field (u32 secs, u32 nsecs).
+func (h Header) PutTime(name string, t Time) {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b[0:4], t.Sec)
+	binary.LittleEndian.PutUint32(b[4:8], t.NSec)
+	h[name] = b
+}
+
+// U32 reads a little-endian uint32 field.
+func (h Header) U32(name string) (uint32, error) {
+	v, ok := h[name]
+	if !ok {
+		return 0, fmt.Errorf("bagio: header missing %q field", name)
+	}
+	if len(v) != 4 {
+		return 0, fmt.Errorf("bagio: field %q has length %d, want 4", name, len(v))
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+// U64 reads a little-endian uint64 field.
+func (h Header) U64(name string) (uint64, error) {
+	v, ok := h[name]
+	if !ok {
+		return 0, fmt.Errorf("bagio: header missing %q field", name)
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("bagio: field %q has length %d, want 8", name, len(v))
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+
+// String reads a string-valued field.
+func (h Header) String(name string) (string, error) {
+	v, ok := h[name]
+	if !ok {
+		return "", fmt.Errorf("bagio: header missing %q field", name)
+	}
+	return string(v), nil
+}
+
+// GetTime reads a ROS time field.
+func (h Header) GetTime(name string) (Time, error) {
+	v, ok := h[name]
+	if !ok {
+		return Time{}, fmt.Errorf("bagio: header missing %q field", name)
+	}
+	if len(v) != 8 {
+		return Time{}, fmt.Errorf("bagio: time field %q has length %d, want 8", name, len(v))
+	}
+	return Time{
+		Sec:  binary.LittleEndian.Uint32(v[0:4]),
+		NSec: binary.LittleEndian.Uint32(v[4:8]),
+	}, nil
+}
+
+// EncodedLen returns the byte length of the header when encoded.
+func (h Header) EncodedLen() int {
+	n := 0
+	for name, value := range h {
+		n += 4 + len(name) + 1 + len(value)
+	}
+	return n
+}
+
+// Encode serializes the header fields. Fields are emitted in sorted name
+// order so encoding is deterministic (the spec does not require an order).
+func (h Header) Encode() []byte {
+	names := make([]string, 0, len(h))
+	for name := range h {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, h.EncodedLen())
+	var lenb [4]byte
+	for _, name := range names {
+		value := h[name]
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(name)+1+len(value)))
+		buf = append(buf, lenb[:]...)
+		buf = append(buf, name...)
+		buf = append(buf, '=')
+		buf = append(buf, value...)
+	}
+	return buf
+}
+
+// DecodeHeader parses an encoded header block into a Header.
+func DecodeHeader(b []byte) (Header, error) {
+	h := make(Header)
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("bagio: truncated header field length (%d trailing bytes)", len(b))
+		}
+		fl := binary.LittleEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < fl {
+			return nil, fmt.Errorf("bagio: header field length %d exceeds remaining %d bytes", fl, len(b))
+		}
+		field := b[:fl]
+		b = b[fl:]
+		eq := -1
+		for i, c := range field {
+			if c == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 {
+			return nil, fmt.Errorf("bagio: header field %q has no '=' separator", string(field))
+		}
+		name := string(field[:eq])
+		if _, dup := h[name]; dup {
+			return nil, fmt.Errorf("bagio: duplicate header field %q", name)
+		}
+		value := make([]byte, len(field)-eq-1)
+		copy(value, field[eq+1:])
+		h[name] = value
+	}
+	return h, nil
+}

@@ -1,0 +1,180 @@
+package bagio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBadMagic reports a file that does not start with the v2.0 signature.
+var ErrBadMagic = errors.New("bagio: not a ROS bag v2.0 file")
+
+// MaxRecordLen bounds header and data block sizes accepted by the reader,
+// protecting against corrupt length prefixes. 1 GiB comfortably exceeds
+// any legitimate chunk.
+const MaxRecordLen = 1 << 30
+
+// RecordWriter emits records to an underlying stream, tracking the byte
+// offset so callers can build chunk-info and bag-header positions.
+type RecordWriter struct {
+	w   io.Writer
+	off int64
+}
+
+// NewRecordWriter wraps w. The caller is responsible for having written
+// (or not) the magic; WriteMagic emits it and advances the offset.
+func NewRecordWriter(w io.Writer) *RecordWriter { return &RecordWriter{w: w} }
+
+// Offset returns the number of bytes written so far, including the magic.
+func (rw *RecordWriter) Offset() int64 { return rw.off }
+
+// WriteMagic emits the bag signature line.
+func (rw *RecordWriter) WriteMagic() error {
+	n, err := io.WriteString(rw.w, Magic)
+	rw.off += int64(n)
+	return err
+}
+
+// WriteRecord emits one record (header length, header, data length, data).
+func (rw *RecordWriter) WriteRecord(r *Record) error {
+	hb := r.Header.Encode()
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(hb)))
+	for _, part := range [][]byte{lenb[:], hb} {
+		n, err := rw.w.Write(part)
+		rw.off += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(r.Data)))
+	for _, part := range [][]byte{lenb[:], r.Data} {
+		n, err := rw.w.Write(part)
+		rw.off += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRaw emits pre-encoded bytes (e.g. the padded bag header).
+func (rw *RecordWriter) WriteRaw(b []byte) error {
+	n, err := rw.w.Write(b)
+	rw.off += int64(n)
+	return err
+}
+
+// RecordScanner reads records sequentially from a stream.
+type RecordScanner struct {
+	r   *bufio.Reader
+	off int64
+}
+
+// NewRecordScanner wraps r. Call ReadMagic first when scanning from the
+// start of a file.
+func NewRecordScanner(r io.Reader) *RecordScanner {
+	return &RecordScanner{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the byte offset of the next record to be read.
+func (rs *RecordScanner) Offset() int64 { return rs.off }
+
+// SetOffset informs the scanner of its absolute position after the caller
+// repositioned the underlying stream.
+func (rs *RecordScanner) SetOffset(off int64) { rs.off = off }
+
+// Reset re-targets the scanner at a new stream position.
+func (rs *RecordScanner) Reset(r io.Reader, off int64) {
+	rs.r.Reset(r)
+	rs.off = off
+}
+
+// ReadMagic consumes and validates the signature line.
+func (rs *RecordScanner) ReadMagic() error {
+	buf := make([]byte, len(Magic))
+	if _, err := io.ReadFull(rs.r, buf); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(buf) != Magic {
+		return fmt.Errorf("%w: got %q", ErrBadMagic, string(buf))
+	}
+	rs.off += int64(len(Magic))
+	return nil
+}
+
+func (rs *RecordScanner) readBlock(kind string) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(rs.r, lenb[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("bagio: read %s length at offset %d: %w", kind, rs.off, err)
+	}
+	rs.off += 4
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > MaxRecordLen {
+		return nil, fmt.Errorf("bagio: %s length %d at offset %d exceeds limit", kind, n, rs.off-4)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rs.r, buf); err != nil {
+		return nil, fmt.Errorf("bagio: read %s of %d bytes at offset %d: %w", kind, n, rs.off, err)
+	}
+	rs.off += int64(n)
+	return buf, nil
+}
+
+// ReadRecord reads the next record. It returns io.EOF at a clean end of
+// stream.
+func (rs *RecordScanner) ReadRecord() (*Record, error) {
+	hb, err := rs.readBlock("header")
+	if err != nil {
+		return nil, err
+	}
+	h, err := DecodeHeader(hb)
+	if err != nil {
+		return nil, err
+	}
+	data, err := rs.readBlock("data")
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return &Record{Header: h, Data: data}, nil
+}
+
+// SkipRecord reads and discards the next record, returning its op code
+// and total encoded length. It avoids retaining the data block.
+func (rs *RecordScanner) SkipRecord() (op byte, size int64, err error) {
+	start := rs.off
+	hb, err := rs.readBlock("header")
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := DecodeHeader(hb)
+	if err != nil {
+		return 0, 0, err
+	}
+	op, err = h.Op()
+	if err != nil {
+		return 0, 0, err
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(rs.r, lenb[:]); err != nil {
+		return 0, 0, fmt.Errorf("bagio: skip record data length: %w", err)
+	}
+	rs.off += 4
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > MaxRecordLen {
+		return 0, 0, fmt.Errorf("bagio: data length %d exceeds limit", n)
+	}
+	if _, err := io.CopyN(io.Discard, rs.r, int64(n)); err != nil {
+		return 0, 0, fmt.Errorf("bagio: skip record data: %w", err)
+	}
+	rs.off += int64(n)
+	return op, rs.off - start, nil
+}

@@ -1,0 +1,133 @@
+// Package bench contains one runner per table and figure of the paper's
+// evaluation, each producing a printable Table with the same rows/series
+// the paper reports. cmd/borabench and the root testing.B benchmarks are
+// thin wrappers over Run.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one regenerated experiment artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // expected paper shape, substitutions, caveats
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(seps)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner produces one experiment's table.
+type Runner func() (*Table, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("bench: duplicate experiment id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}
+
+// RunAll executes every experiment in id order.
+func RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fmtDur renders a duration with experiment-friendly precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	default:
+		return d.String()
+	}
+}
+
+// fmtRatio renders a speedup.
+func fmtRatio(base, opt time.Duration) string {
+	if opt <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(opt))
+}
+
+// fmtGB renders a byte count in decimal GB, matching the paper's labels.
+func fmtGB(b int64) string { return fmt.Sprintf("%.1fGB", float64(b)/1e9) }

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/layout"
+	"repro/internal/pathsim"
+	"repro/internal/swarm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig15", runFig15)
+	register("fig16", runFig16)
+	register("fig17", runFig17)
+	register("fig18", runFig18)
+}
+
+// pvfsPair runs open+query on both paths over the PVFS platform.
+func pvfsPair(bag *layout.Bag, topics []string) (base, bora time.Duration) {
+	be := cluster.NewPVFS()
+	pathsim.BaselineOpen(be, bag)
+	pathsim.BaselineQueryTopics(be, bag, topics)
+	bo := cluster.NewPVFS()
+	pathsim.BoraOpen(bo, bag)
+	pathsim.BoraQueryTopics(bo, bag, topics)
+	return be.Clock().Elapsed(), bo.Clock().Elapsed()
+}
+
+// runFig15 regenerates query-by-topic on the 4-node PVFS cluster:
+// single Handheld SLAM topics (a, b) and the four applications (c, d).
+func runFig15() (*Table, error) {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Query time by topics on a 4-node PVFS cluster",
+		Header: []string{"bag size", "query", "baseline", "bora", "improvement"},
+		Notes: []string{
+			"paper: ~2x average speedup, ~30x on /camera/rgb/camera_info (open-dominated)",
+		},
+	}
+	for _, size := range []int64{21_000_000_000, 42_000_000_000} {
+		bag, err := workload.HandheldSLAMBag(size)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range []string{"A", "B", "C", "E", "F"} {
+			base, bora := pvfsPair(bag, []string{topicByID[id]})
+			t.Rows = append(t.Rows, []string{
+				fmtGB(size), "topic " + id, fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
+			})
+		}
+		for _, app := range workload.Apps() {
+			base, bora := pvfsPair(bag, app.Topics)
+			t.Rows = append(t.Rows, []string{
+				fmtGB(size), "app " + app.Abbrev, fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runFig16 regenerates query by one topic + start–end time on PVFS with
+// the 42 GB bag.
+func runFig16() (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Query time by one topic and start-end time, Handheld SLAM 42GB, PVFS cluster",
+		Header: []string{"topic", "end time", "baseline", "bora", "improvement"},
+		Notes: []string{
+			"paper: BORA outperforms in every case (coarse-grain time index)",
+		},
+	}
+	bag, err := workload.HandheldSLAMBag(42_000_000_000)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range []string{"A", "B", "C", "F"} {
+		for _, end := range stairSteps(bag) {
+			be := cluster.NewPVFS()
+			pathsim.BaselineOpen(be, bag)
+			pathsim.BaselineQueryTime(be, bag, []string{topicByID[id]}, 0, end)
+			bo := cluster.NewPVFS()
+			pathsim.BoraOpen(bo, bag)
+			pathsim.BoraQueryTime(bo, bag, []string{topicByID[id]}, 0, end, simWindow)
+			t.Rows = append(t.Rows, []string{
+				id, fmtDur(time.Duration(end)),
+				fmtDur(be.Clock().Elapsed()), fmtDur(bo.Clock().Elapsed()),
+				fmtRatio(be.Clock().Elapsed(), bo.Clock().Elapsed()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runFig17 regenerates the robotic-swarm comparison on the Tianhe-1A
+// Lustre model: 10/50/100 robots × 21/42 GB bags, Robot SLAM extraction,
+// reporting open and query times separately as the paper does.
+func runFig17() (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Robotic swarm query on Tianhe-1A Lustre (Robot SLAM extraction)",
+		Header: []string{"bag size", "robots", "open base", "open bora", "open impr", "query base", "query bora", "query impr"},
+		Notes: []string{
+			"paper: >10x overall at 100×42GB (4.2TB), up to 3,113x on open",
+		},
+	}
+	for _, size := range []int64{21 * workload.GB, 42 * workload.GB} {
+		for _, robots := range []int{10, 50, 100} {
+			res, err := swarm.Sim(swarm.SimConfig{Robots: robots, BagBytes: size})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmtGB(size), fmt.Sprintf("%d", robots),
+				fmtDur(res.BaselineOpen), fmtDur(res.BoraOpen), fmt.Sprintf("%.0fx", res.OpenImprovement()),
+				fmtDur(res.BaselineQuery), fmtDur(res.BoraQuery), fmt.Sprintf("%.1fx", res.QueryImprovement()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runFig18 regenerates the swarm topic + time-range queries.
+func runFig18() (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Robotic swarm query by topics and start-end times on Tianhe-1A Lustre",
+		Header: []string{"robots", "end time", "baseline", "bora", "improvement"},
+		Notes: []string{
+			"paper: coarse-grain time indexing reduces time costs by up to 4x",
+		},
+	}
+	bag, err := workload.HandheldSLAMBag(21 * workload.GB)
+	if err != nil {
+		return nil, err
+	}
+	for _, robots := range []int{10, 50, 100} {
+		for _, end := range stairSteps(bag)[:4] {
+			res, err := swarm.Sim(swarm.SimConfig{
+				Robots:    robots,
+				BagBytes:  21 * workload.GB,
+				TimeEndNs: end,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", robots), fmtDur(time.Duration(end)),
+				fmtDur(res.BaselineQuery), fmtDur(res.BoraQuery),
+				fmt.Sprintf("%.1fx", res.QueryImprovement()),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/pathsim"
+	"repro/internal/plfsim"
+	"repro/internal/simio"
+	"repro/internal/tagman"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("table1", runTable1)
+	register("fig2", runFig2)
+	register("fig3", runFig3)
+}
+
+// runTable1 measures (with the real wall clock — this experiment runs
+// the real tag manager, not a simulator) the on-the-fly construction
+// cost and footprint of the tag manager's hash table as the topic count
+// grows from 10 to 100,000.
+func runTable1() (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Time and space costs to construct the tag manager hash table",
+		Header: []string{"topics", "table size (KB)", "build time (ms)", "load time (ms)"},
+		Notes: []string{
+			"paper: 0.163ms/10 topics → 35.84ms/100k topics, 0.11KB → 1.5MB;",
+			"'no significant time difference between reading the hash table and",
+			"building it on-the-fly' — hence BORA never persists it",
+			"real measurement on this host (not the cost simulator)",
+		},
+	}
+	for _, n := range []int{10, 100, 1_000, 10_000, 100_000} {
+		paths := make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			topic := fmt.Sprintf("/topic%06d", i)
+			paths[topic] = "/mnt/bora/bag1" + topic
+		}
+		// Median of several builds to de-noise the wall clock.
+		const reps = 5
+		var best time.Duration
+		var tb *tagman.Table
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			tb = tagman.Build(paths)
+			d := time.Since(start)
+			if r == 0 || d < best {
+				best = d
+			}
+		}
+		if tb.Len() != n {
+			return nil, fmt.Errorf("table1: built %d entries, want %d", tb.Len(), n)
+		}
+		// The paper's alternative: deserialize a persisted table.
+		blob := tb.Marshal()
+		var bestLoad time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			loaded, err := tagman.Unmarshal(blob)
+			d := time.Since(start)
+			if err != nil || loaded.Len() != n {
+				return nil, fmt.Errorf("table1: load failed: %v", err)
+			}
+			if r == 0 || d < bestLoad {
+				bestLoad = d
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", float64(tb.SizeBytes())/1024),
+			fmt.Sprintf("%.3f", float64(best)/1e6),
+			fmt.Sprintf("%.3f", float64(bestLoad)/1e6),
+		})
+	}
+	return t, nil
+}
+
+// runFig2 regenerates the message-insertion comparison: 49,233 TF
+// messages into a bag-style append file versus the three mini-DBMS
+// engines.
+func runFig2() (*Table, error) {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Message insertion: Ext4 bag append vs DBMS engines (49,233 TF messages)",
+		Header: []string{"engine", "ingest time", "vs ext4"},
+		Notes: []string{
+			"paper: Aerospike 51.8x, PostgreSQL 93.6x, InfluxDB 3,694.6x slower than Ext4 (130ms)",
+			"engines are miniature in-process reproductions (DESIGN.md §3)",
+		},
+	}
+	stream := workload.TFStream(workload.Fig2MessageCount, 42)
+	engines := []dbsim.Engine{
+		dbsim.NewFileAppend(simio.Ext4NVMe),
+		dbsim.NewKVStore(),
+		dbsim.NewSQLStore(),
+		dbsim.NewTSStore(),
+	}
+	var ext4 time.Duration
+	for i, e := range engines {
+		for j := range stream {
+			if err := e.Insert(uint32(j), &stream[j]); err != nil {
+				return nil, fmt.Errorf("fig2: %s: %w", e.Name(), err)
+			}
+		}
+		if i == 0 {
+			ext4 = e.Elapsed()
+		}
+		t.Rows = append(t.Rows, []string{e.Name(), fmtDur(e.Elapsed()), fmtRatio(e.Elapsed(), ext4)})
+	}
+	return t, nil
+}
+
+// runFig3 regenerates the PLFS motivation comparison: bag writes at
+// several sizes (a) and a topic read from the 2.9 GB bag (b).
+func runFig3() (*Table, error) {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "PLFS vs native file systems: bag write (a) and topic read (b)",
+		Header: []string{"op", "size", "ext4", "xfs", "plfs", "plfs vs ext4"},
+		Notes: []string{
+			"paper: PLFS takes 2x longer to write a 3.9GB bag, ~2x to retrieve a topic from 2.9GB",
+		},
+	}
+	for _, size := range []int64{700_000_000, 1_400_000_000, 2_200_000_000, 2_900_000_000, 3_900_000_000} {
+		bag, err := workload.HandheldSLAMBag(size)
+		if err != nil {
+			return nil, err
+		}
+		ext4 := pathsim.BaselineWrite(simio.NewLocalEnv(simio.SingleNodeSSD()), bag)
+		xfs := pathsim.BaselineWrite(simio.NewLocalEnv(simio.SingleNodeXFS()), bag)
+		plfs := plfsim.SimWrite(simio.NewLocalEnv(simio.SingleNodeSSD()), bag)
+		t.Rows = append(t.Rows, []string{
+			"write", fmtGB(size), fmtDur(ext4), fmtDur(xfs), fmtDur(plfs), fmtRatio(plfs, ext4),
+		})
+	}
+	bag, err := workload.HandheldSLAMBag(2_900_000_000)
+	if err != nil {
+		return nil, err
+	}
+	topicIdx := bag.TopicIndex(workload.TopicRGBImage)
+	topic := bag.Topics[topicIdx]
+	env := simio.NewLocalEnv(simio.SingleNodeSSD())
+	ext4Read := pathsim.BaselineOpen(env, bag) + pathsim.BaselineQueryTopics(env, bag, []string{workload.TopicRGBImage})
+	envX := simio.NewLocalEnv(simio.SingleNodeXFS())
+	xfsRead := pathsim.BaselineOpen(envX, bag) + pathsim.BaselineQueryTopics(envX, bag, []string{workload.TopicRGBImage})
+	plfsRead := plfsim.SimReadTopic(simio.NewLocalEnv(simio.SingleNodeSSD()), bag, topic.Bytes, topic.Count)
+	t.Rows = append(t.Rows, []string{
+		"read rgb topic", fmtGB(2_900_000_000), fmtDur(ext4Read), fmtDur(xfsRead), fmtDur(plfsRead), fmtRatio(plfsRead, ext4Read),
+	})
+	return t, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/rosbag"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("validate-real", runValidateReal)
+}
+
+// runValidateReal is the cross-check experiment: it measures REAL wall
+// clock on this host — the stock rosbag path (open + indexed query)
+// versus the real BORA core — over the same scaled-down Handheld SLAM
+// recording, for the by-topic and topics+time query classes. It
+// demonstrates that the direction of every simulated result holds on
+// real hardware, independent of the cost model.
+func runValidateReal() (*Table, error) {
+	t := &Table{
+		ID:     "validate-real",
+		Title:  "Real wall-clock cross-check: stock rosbag path vs BORA core (scaled-down bag)",
+		Header: []string{"query", "stock rosbag", "bora", "speedup", "msgs"},
+		Notes: []string{
+			"real measurement on this host; message payloads scaled down 2000x,",
+			"structured topic rates and interleaving preserved",
+		},
+	}
+	dir, err := os.MkdirTemp("", "bora-validate-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	src := filepath.Join(dir, "src.bag")
+	if _, err := workload.WriteHandheldSLAMBag(src, workload.SyntheticOptions{
+		Seconds: 8, ScaleDown: 2000,
+		Writer: rosbag.WriterOptions{ChunkThreshold: 64 * 1024},
+	}); err != nil {
+		return nil, err
+	}
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := backend.Duplicate(src, "v"); err != nil {
+		return nil, err
+	}
+	base := bagio.TimeFromNanos(int64(1_500_000_000) * 1e9)
+
+	type queryCase struct {
+		label  string
+		topics []string
+		start  bagio.Time
+		end    bagio.Time
+	}
+	cases := []queryCase{
+		{"topic /imu (full)", []string{workload.TopicIMU}, bagio.MinTime, bagio.MaxTime},
+		{"topic camera_info (full)", []string{workload.TopicRGBCameraInfo}, bagio.MinTime, bagio.MaxTime},
+		{"RS app topics (full)", workload.Apps()[1].Topics, bagio.MinTime, bagio.MaxTime},
+		{"imu+tf, 2s window", []string{workload.TopicIMU, workload.TopicTF}, base, base.Add(2 * time.Second)},
+	}
+	for _, qc := range cases {
+		// Stock path: re-open (chunk-info traversal) + indexed query.
+		stockStart := time.Now()
+		r, f, err := rosbag.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		var stockCount int
+		q := rosbag.Query{Topics: qc.topics}
+		if qc.start != bagio.MinTime || qc.end != bagio.MaxTime {
+			q.Start, q.End = qc.start, qc.end
+		}
+		err = r.ReadMessages(q, func(rosbag.MessageRef) error {
+			stockCount++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		stockTime := time.Since(stockStart)
+
+		// BORA path: container open + query.
+		boraStart := time.Now()
+		bag, err := backend.Open("v")
+		if err != nil {
+			return nil, err
+		}
+		var boraCount int
+		emit := func(core.MessageRef) error { boraCount++; return nil }
+		if qc.start == bagio.MinTime && qc.end == bagio.MaxTime {
+			err = bag.ReadMessages(qc.topics, emit)
+		} else {
+			err = bag.ReadMessagesTime(qc.topics, qc.start, qc.end, emit)
+		}
+		if err != nil {
+			return nil, err
+		}
+		boraTime := time.Since(boraStart)
+
+		if stockCount != boraCount {
+			return nil, fmt.Errorf("validate-real: %s: stock %d vs bora %d messages", qc.label, stockCount, boraCount)
+		}
+		t.Rows = append(t.Rows, []string{
+			qc.label, fmtDur(stockTime), fmtDur(boraTime),
+			fmtRatio(stockTime, boraTime), fmt.Sprintf("%d", stockCount),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,431 @@
+// Package container implements the BORA container structure (Fig 5b of
+// the paper): for each logical bag, a root directory on the underlying
+// file system holding one sub-directory per topic. A topic sub-directory
+// stores the topic's message payloads as one large contiguous data file,
+// a fixed-width index file (timestamp, logical offset, length, physical
+// pointer), the connection metadata, and the coarse-grain time index.
+//
+// Because topic data is aggregated into per-topic files during the
+// one-time duplication step, a later query by topic becomes a whole-file
+// sequential read and a query by time range a window-bounded read —
+// the data layout property all of BORA's gains derive from.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bagio"
+	"repro/internal/stripe"
+)
+
+// File names inside a topic sub-directory.
+const (
+	DataFileName    = "data"
+	IndexFileName   = "index"
+	ConnFileName    = "conn"
+	TimeIdxFileName = "timeidx"
+	MetaFileName    = ".bora_meta"
+)
+
+// IndexEntrySize is the fixed on-disk width of one index entry:
+// sec u32, nsec u32, logical offset u64, length u32, physical offset u64.
+const IndexEntrySize = 4 + 4 + 8 + 4 + 8
+
+// IndexEntry locates one message of a topic. LogicalOffset is the byte
+// offset within the topic's logical stream; PhysicalOffset points into
+// the topic data file (they coincide for the local POSIX back end but
+// differ when a back end relocates or stripes data).
+type IndexEntry struct {
+	Time           bagio.Time
+	LogicalOffset  uint64
+	Length         uint32
+	PhysicalOffset uint64
+}
+
+func (e IndexEntry) encode(dst []byte) {
+	binary.LittleEndian.PutUint32(dst[0:4], e.Time.Sec)
+	binary.LittleEndian.PutUint32(dst[4:8], e.Time.NSec)
+	binary.LittleEndian.PutUint64(dst[8:16], e.LogicalOffset)
+	binary.LittleEndian.PutUint32(dst[16:20], e.Length)
+	binary.LittleEndian.PutUint64(dst[20:28], e.PhysicalOffset)
+}
+
+func decodeIndexEntry(src []byte) IndexEntry {
+	return IndexEntry{
+		Time:           bagio.Time{Sec: binary.LittleEndian.Uint32(src[0:4]), NSec: binary.LittleEndian.Uint32(src[4:8])},
+		LogicalOffset:  binary.LittleEndian.Uint64(src[8:16]),
+		Length:         binary.LittleEndian.Uint32(src[16:20]),
+		PhysicalOffset: binary.LittleEndian.Uint64(src[20:28]),
+	}
+}
+
+// EncodeTopicDir converts a ROS topic name to a file-system-safe
+// directory name. ROS topic names never contain '#', so the mapping is
+// reversible.
+func EncodeTopicDir(topic string) string {
+	return strings.ReplaceAll(strings.TrimPrefix(topic, "/"), "/", "#")
+}
+
+// DecodeTopicDir inverts EncodeTopicDir.
+func DecodeTopicDir(dir string) string {
+	return "/" + strings.ReplaceAll(dir, "#", "/")
+}
+
+// Container is an open BORA container rooted at a back-end directory.
+type Container struct {
+	root   string
+	topics map[string]*Topic // keyed by topic name
+}
+
+// Topic is one topic sub-directory of a container. Topics are safe for
+// concurrent readers: the lazy index load is guarded by a mutex.
+type Topic struct {
+	dir        string
+	topic      string
+	conn       *bagio.Connection
+	stripes    int // >1 when the data file is striped across lanes
+	stripeSize int64
+
+	mu      sync.Mutex
+	entries []IndexEntry
+	loaded  bool // entries read from the index file
+}
+
+// Create initializes an empty container at root (which must not exist or
+// must be an empty directory).
+func Create(root string) (*Container, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("container: create root: %w", err)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(ents) > 0 {
+		return nil, fmt.Errorf("container: %s is not empty", root)
+	}
+	if err := os.WriteFile(filepath.Join(root, MetaFileName), []byte("bora-container v1\n"), 0o644); err != nil {
+		return nil, fmt.Errorf("container: write meta: %w", err)
+	}
+	return &Container{root: root, topics: map[string]*Topic{}}, nil
+}
+
+// Open opens an existing container, discovering topic sub-directories.
+// This is the cheap structural parse BORA performs on open (Fig 4b): it
+// lists the directory and reads only the small per-topic connection
+// files — it does not touch data or index files.
+func Open(root string) (*Container, error) {
+	meta := filepath.Join(root, MetaFileName)
+	if _, err := os.Stat(meta); err != nil {
+		return nil, fmt.Errorf("container: %s is not a BORA container: %w", root, err)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{root: root, topics: map[string]*Topic{}}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, ent.Name())
+		connBytes, err := os.ReadFile(filepath.Join(dir, ConnFileName))
+		if err != nil {
+			return nil, fmt.Errorf("container: topic dir %s: %w", ent.Name(), err)
+		}
+		h, err := bagio.DecodeHeader(connBytes)
+		if err != nil {
+			return nil, fmt.Errorf("container: topic dir %s conn file: %w", ent.Name(), err)
+		}
+		conn := &bagio.Connection{}
+		conn.Topic, _ = h.String("topic")
+		conn.Type, _ = h.String("type")
+		conn.MD5Sum, _ = h.String("md5sum")
+		conn.Def, _ = h.String("message_definition")
+		if id, err := h.U32("conn"); err == nil {
+			conn.ID = id
+		}
+		topic := conn.Topic
+		if topic == "" {
+			topic = DecodeTopicDir(ent.Name())
+			conn.Topic = topic
+		}
+		t := &Topic{dir: dir, topic: topic, conn: conn}
+		if n, err := h.U32("stripes"); err == nil && n > 1 {
+			t.stripes = int(n)
+			if sz, err := h.U64("stripe_size"); err == nil {
+				t.stripeSize = int64(sz)
+			}
+		}
+		c.topics[topic] = t
+	}
+	return c, nil
+}
+
+// Root returns the container's back-end directory.
+func (c *Container) Root() string { return c.root }
+
+// Topics returns the sorted topic names present in the container.
+func (c *Container) Topics() []string {
+	out := make([]string, 0, len(c.topics))
+	for t := range c.topics {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Topic returns the named topic, or an error naming the available set.
+func (c *Container) Topic(name string) (*Topic, error) {
+	t, ok := c.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("container: no topic %q in %s (have %v)", name, c.root, c.Topics())
+	}
+	return t, nil
+}
+
+// TopicPath returns the back-end path of a topic's sub-directory; this is
+// the value stored by the tag manager's hash table.
+func (c *Container) TopicPath(name string) (string, error) {
+	t, err := c.Topic(name)
+	if err != nil {
+		return "", err
+	}
+	return t.dir, nil
+}
+
+// TopicOptions tune a topic's on-disk layout. Stripes > 1 spreads the
+// topic's data across lane files (internal/stripe), the distribution of
+// parallel file systems; StripeSize ≤ 0 selects the stripe default.
+type TopicOptions struct {
+	Stripes    int
+	StripeSize int64
+}
+
+// CreateTopic adds a topic sub-directory for conn and returns a writer
+// for appending its messages. The writer must be closed to persist the
+// index.
+func (c *Container) CreateTopic(conn *bagio.Connection) (*TopicWriter, error) {
+	return c.CreateTopicOpts(conn, TopicOptions{})
+}
+
+// CreateTopicOpts is CreateTopic with explicit layout options.
+func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (*TopicWriter, error) {
+	if _, dup := c.topics[conn.Topic]; dup {
+		return nil, fmt.Errorf("container: topic %q already exists", conn.Topic)
+	}
+	dir := filepath.Join(c.root, EncodeTopicDir(conn.Topic))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.Stripes > 1 && opts.StripeSize <= 0 {
+		opts.StripeSize = stripe.DefaultStripeSize
+	}
+	h := make(bagio.Header)
+	h.PutU32("conn", conn.ID)
+	h.PutString("topic", conn.Topic)
+	h.PutString("type", conn.Type)
+	h.PutString("md5sum", conn.MD5Sum)
+	h.PutString("message_definition", conn.Def)
+	if opts.Stripes > 1 {
+		h.PutU32("stripes", uint32(opts.Stripes))
+		h.PutU64("stripe_size", uint64(opts.StripeSize))
+	}
+	if err := os.WriteFile(filepath.Join(dir, ConnFileName), h.Encode(), 0o644); err != nil {
+		return nil, err
+	}
+	t := &Topic{dir: dir, topic: conn.Topic, conn: conn, loaded: true}
+	tw := &TopicWriter{topic: t, crc: crc32.New(crcTable)}
+	if opts.Stripes > 1 {
+		t.stripes = opts.Stripes
+		t.stripeSize = opts.StripeSize
+		sw, err := stripe.Create(dir, opts.Stripes, opts.StripeSize)
+		if err != nil {
+			return nil, err
+		}
+		tw.striped = sw
+	} else {
+		df, err := os.Create(filepath.Join(dir, DataFileName))
+		if err != nil {
+			return nil, err
+		}
+		tw.data = df
+	}
+	c.topics[conn.Topic] = t
+	return tw, nil
+}
+
+// TopicWriter appends messages to one topic of a container. It keeps a
+// running CRC of the data stream, persisted at Close for later Verify.
+type TopicWriter struct {
+	topic   *Topic
+	data    *os.File       // single-file layout
+	striped *stripe.Writer // striped layout (nil when single-file)
+	crc     hash.Hash32
+	offset  uint64
+	closed  bool
+}
+
+// Append writes one message payload and records its index entry.
+func (tw *TopicWriter) Append(t bagio.Time, payload []byte) error {
+	if tw.closed {
+		return fmt.Errorf("container: topic writer for %q is closed", tw.topic.topic)
+	}
+	if tw.striped != nil {
+		if _, err := tw.striped.Append(payload); err != nil {
+			return fmt.Errorf("container: append to %q: %w", tw.topic.topic, err)
+		}
+	} else if _, err := tw.data.Write(payload); err != nil {
+		return fmt.Errorf("container: append to %q: %w", tw.topic.topic, err)
+	}
+	tw.crc.Write(payload)
+	tw.topic.entries = append(tw.topic.entries, IndexEntry{
+		Time:           t,
+		LogicalOffset:  tw.offset,
+		Length:         uint32(len(payload)),
+		PhysicalOffset: tw.offset,
+	})
+	tw.offset += uint64(len(payload))
+	return nil
+}
+
+// Close flushes the data file and persists the index file.
+func (tw *TopicWriter) Close() error {
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	if tw.striped != nil {
+		if err := tw.striped.Close(); err != nil {
+			return err
+		}
+	} else if err := tw.data.Close(); err != nil {
+		return err
+	}
+	buf := make([]byte, len(tw.topic.entries)*IndexEntrySize)
+	for i, e := range tw.topic.entries {
+		e.encode(buf[i*IndexEntrySize:])
+	}
+	if err := os.WriteFile(filepath.Join(tw.topic.dir, IndexFileName), buf, 0o644); err != nil {
+		return fmt.Errorf("container: write index for %q: %w", tw.topic.topic, err)
+	}
+	return writeChecksum(tw.topic.dir, tw.crc.Sum32(), int64(tw.offset))
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.topic }
+
+// Connection returns the topic's connection metadata.
+func (t *Topic) Connection() *bagio.Connection { return t.conn }
+
+// Dir returns the topic's back-end directory.
+func (t *Topic) Dir() string { return t.dir }
+
+// Entries loads (once) and returns the topic's index entries in append
+// order, which is timestamp order for bags recorded chronologically.
+// The returned slice is shared; callers must not mutate it.
+func (t *Topic) Entries() ([]IndexEntry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.loaded {
+		return t.entries, nil
+	}
+	buf, err := os.ReadFile(filepath.Join(t.dir, IndexFileName))
+	if err != nil {
+		return nil, fmt.Errorf("container: read index of %q: %w", t.topic, err)
+	}
+	if len(buf)%IndexEntrySize != 0 {
+		return nil, fmt.Errorf("container: index of %q has %d bytes, not a multiple of %d", t.topic, len(buf), IndexEntrySize)
+	}
+	t.entries = make([]IndexEntry, len(buf)/IndexEntrySize)
+	for i := range t.entries {
+		t.entries[i] = decodeIndexEntry(buf[i*IndexEntrySize:])
+	}
+	t.loaded = true
+	return t.entries, nil
+}
+
+// MessageCount returns the number of indexed messages.
+func (t *Topic) MessageCount() (int, error) {
+	es, err := t.Entries()
+	if err != nil {
+		return 0, err
+	}
+	return len(es), nil
+}
+
+// DataSize returns the total payload bytes of the topic.
+func (t *Topic) DataSize() (int64, error) {
+	if t.stripes > 1 {
+		r, err := stripe.Open(t.dir, t.stripes, t.stripeSize)
+		if err != nil {
+			return 0, err
+		}
+		defer r.Close()
+		return r.Size(), nil
+	}
+	st, err := os.Stat(filepath.Join(t.dir, DataFileName))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// DataReader serves random reads of a topic's logical data stream.
+type DataReader interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// Striped reports the topic's lane count (1 for a single data file).
+func (t *Topic) Striped() int {
+	if t.stripes > 1 {
+		return t.stripes
+	}
+	return 1
+}
+
+// OpenData opens the topic's contiguous logical data stream for
+// reading; striped topics fan reads out across their lane files.
+func (t *Topic) OpenData() (DataReader, error) {
+	if t.stripes > 1 {
+		return stripe.Open(t.dir, t.stripes, t.stripeSize)
+	}
+	return os.Open(filepath.Join(t.dir, DataFileName))
+}
+
+// ReadMessage reads the payload for one index entry.
+func (t *Topic) ReadMessage(r io.ReaderAt, e IndexEntry) ([]byte, error) {
+	buf := make([]byte, e.Length)
+	if _, err := r.ReadAt(buf, int64(e.PhysicalOffset)); err != nil {
+		return nil, fmt.Errorf("container: read message of %q at %d: %w", t.topic, e.PhysicalOffset, err)
+	}
+	return buf, nil
+}
+
+// TimeRange returns the first and last message timestamps of the topic.
+func (t *Topic) TimeRange() (start, end bagio.Time, err error) {
+	es, err := t.Entries()
+	if err != nil || len(es) == 0 {
+		return bagio.Time{}, bagio.Time{}, err
+	}
+	start, end = es[0].Time, es[0].Time
+	for _, e := range es[1:] {
+		if e.Time.Before(start) {
+			start = e.Time
+		}
+		if end.Before(e.Time) {
+			end = e.Time
+		}
+	}
+	return start, end, nil
+}

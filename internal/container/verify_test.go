@@ -1,0 +1,122 @@
+package container
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bagio"
+)
+
+// buildVerifiedTopic writes a small topic and reopens the container.
+func buildVerifiedTopic(t *testing.T) (*Container, string) {
+	t.Helper()
+	c, err := Create(filepath.Join(t.TempDir(), "bag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := c.CreateTopic(&bagio.Connection{Topic: "/imu", Type: "sensor_msgs/Imu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tw.Append(bagio.Time{Sec: uint32(i)}, []byte{byte(i), byte(i + 1), byte(i + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(c.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c2, filepath.Join(c.Root(), EncodeTopicDir("/imu"))
+}
+
+func TestVerifyCleanContainer(t *testing.T) {
+	c, _ := buildVerifiedTopic(t)
+	results, err := c.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(results) != 1 || !results[0].OK {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Messages != 20 || results[0].Bytes != 60 {
+		t.Errorf("counts = %+v", results[0])
+	}
+	if results[0].Detail != "" {
+		t.Errorf("clean verify has detail %q", results[0].Detail)
+	}
+}
+
+func TestVerifyDetectsDataCorruption(t *testing.T) {
+	c, dir := buildVerifiedTopic(t)
+	data := filepath.Join(dir, DataFileName)
+	buf, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[10] ^= 0xFF // flip one byte, length unchanged
+	if err := os.WriteFile(data, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Verify()
+	if err == nil {
+		t.Error("bit flip not detected")
+	}
+}
+
+func TestVerifyDetectsTruncation(t *testing.T) {
+	c, dir := buildVerifiedTopic(t)
+	data := filepath.Join(dir, DataFileName)
+	buf, _ := os.ReadFile(data)
+	if err := os.WriteFile(data, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestVerifyDetectsIndexGap(t *testing.T) {
+	c, dir := buildVerifiedTopic(t)
+	idx := filepath.Join(dir, IndexFileName)
+	buf, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the second entry: a gap appears in the logical tiling.
+	mut := append(append([]byte{}, buf[:IndexEntrySize]...), buf[2*IndexEntrySize:]...)
+	if err := os.WriteFile(idx, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(); err == nil {
+		t.Error("index gap not detected")
+	}
+}
+
+func TestVerifyWithoutChecksumFile(t *testing.T) {
+	c, dir := buildVerifiedTopic(t)
+	if err := os.Remove(filepath.Join(dir, ChecksumFileName)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Verify()
+	if err != nil {
+		t.Fatalf("pre-checksum container should pass structurally: %v", err)
+	}
+	if !results[0].OK || results[0].Detail == "" {
+		t.Errorf("expected OK with a structural-only note, got %+v", results[0])
+	}
+}
+
+func TestVerifyDetectsBadChecksumFile(t *testing.T) {
+	c, dir := buildVerifiedTopic(t)
+	if err := os.WriteFile(filepath.Join(dir, ChecksumFileName), []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Verify(); err == nil {
+		t.Error("malformed checksum file not detected")
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/bagio"
+	"repro/internal/container"
+	"repro/internal/rosbag"
+	"repro/internal/tagman"
+	"repro/internal/timeindex"
+)
+
+// Stats counts the I/O-relevant operations performed on an open BORA
+// bag, mirroring rosbag.Stats for side-by-side comparison.
+type Stats struct {
+	Seeks          int   // random repositioning operations
+	BytesRead      int64 // payload bytes read
+	EntriesScanned int   // index entries examined
+	WindowsScanned int   // coarse time-index windows touched
+	MessagesRead   int   // messages delivered to callers
+}
+
+// MessageRef is one message yielded by a BORA query. Data is only valid
+// for the duration of the callback.
+type MessageRef struct {
+	Conn *bagio.Connection
+	Time bagio.Time
+	Data []byte
+}
+
+// Bag is an open logical bag backed by a BORA container. A Bag is safe
+// for concurrent queries: the stats counters and the lazily loaded time
+// indexes are guarded by an internal mutex.
+type Bag struct {
+	name string
+	c    *container.Container
+	tags *tagman.Table
+	opts Options
+
+	mu      sync.Mutex
+	stats   Stats
+	timeIdx map[string]*timeindex.Index
+}
+
+// Name returns the logical bag name.
+func (bag *Bag) Name() string { return bag.name }
+
+// Topics returns the bag's sorted topic names.
+func (bag *Bag) Topics() []string { return bag.c.Topics() }
+
+// TagTable exposes the tag manager's hash table (topic → back-end path).
+func (bag *Bag) TagTable() *tagman.Table { return bag.tags }
+
+// Container exposes the underlying container.
+func (bag *Bag) Container() *container.Container { return bag.c }
+
+// Stats returns the operation counters accumulated so far.
+func (bag *Bag) Stats() Stats {
+	bag.mu.Lock()
+	defer bag.mu.Unlock()
+	return bag.stats
+}
+
+// addStats merges one query's counters under the lock.
+func (bag *Bag) addStats(d Stats) {
+	bag.mu.Lock()
+	bag.stats.Seeks += d.Seeks
+	bag.stats.BytesRead += d.BytesRead
+	bag.stats.EntriesScanned += d.EntriesScanned
+	bag.stats.WindowsScanned += d.WindowsScanned
+	bag.stats.MessagesRead += d.MessagesRead
+	bag.mu.Unlock()
+}
+
+// Connections returns connection metadata for every topic.
+func (bag *Bag) Connections() ([]*bagio.Connection, error) {
+	var out []*bagio.Connection
+	for _, name := range bag.c.Topics() {
+		t, err := bag.c.Topic(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.Connection())
+	}
+	return out, nil
+}
+
+// MessageCount returns the total message count across the given topics
+// (all topics when none are given).
+func (bag *Bag) MessageCount(topics ...string) (int, error) {
+	if len(topics) == 0 {
+		topics = bag.Topics()
+	}
+	n := 0
+	for _, name := range topics {
+		t, err := bag.c.Topic(name)
+		if err != nil {
+			return 0, err
+		}
+		c, err := t.MessageCount()
+		if err != nil {
+			return 0, err
+		}
+		n += c
+	}
+	return n, nil
+}
+
+// resolve maps requested topics to container topics via the tag table —
+// step 2 of Fig 7. The tag table is the only lookup structure consulted.
+func (bag *Bag) resolve(topics []string) ([]*container.Topic, error) {
+	if len(topics) == 0 {
+		topics = bag.Topics()
+	}
+	if _, err := bag.tags.Lookup(topics); err != nil {
+		return nil, err
+	}
+	out := make([]*container.Topic, len(topics))
+	for i, name := range topics {
+		t, err := bag.c.Topic(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// ReadMessages performs BORA data acquisition (Fig 7): each requested
+// topic's data file is read sequentially in full. Messages are yielded
+// grouped by topic (in the order requested), each topic in timestamp
+// order — the layout-friendly order that gives sequential access on the
+// underlying device.
+func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
+	resolved, err := bag.resolve(topics)
+	if err != nil {
+		return err
+	}
+	for _, t := range resolved {
+		if err := bag.readTopicRange(t, bagio.MinTime, bagio.MaxTime, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readTopicRange streams one topic's messages within [start, end].
+func (bag *Bag) readTopicRange(t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) error {
+	var d Stats
+	defer func() { bag.addStats(d) }()
+	entries, err := t.Entries()
+	if err != nil {
+		return err
+	}
+	positions, windows, err := bag.positionsInRange(t, entries, start, end)
+	if err != nil {
+		return err
+	}
+	d.WindowsScanned += windows
+	if len(positions) == 0 {
+		return nil
+	}
+	df, err := t.OpenData()
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	d.Seeks++ // one open/position per topic file
+	conn := t.Connection()
+	for _, pos := range positions {
+		e := entries[pos]
+		d.EntriesScanned++
+		if e.Time.Before(start) || end.Before(e.Time) {
+			continue // fine-grain filter at window boundaries
+		}
+		data, err := t.ReadMessage(df, e)
+		if err != nil {
+			return err
+		}
+		d.BytesRead += int64(len(data))
+		d.MessagesRead++
+		if err := fn(MessageRef{Conn: conn, Time: e.Time, Data: data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// positionsInRange returns the entry ordinals to visit for [start, end]
+// and the number of coarse windows scanned. A full-range query visits
+// every entry without touching the time index.
+func (bag *Bag) positionsInRange(t *container.Topic, entries []container.IndexEntry, start, end bagio.Time) ([]uint32, int, error) {
+	if start == bagio.MinTime && end == bagio.MaxTime {
+		positions := make([]uint32, len(entries))
+		for i := range positions {
+			positions[i] = uint32(i)
+		}
+		return positions, 0, nil
+	}
+	ix, err := bag.timeIndex(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	positions := ix.Query(start, end)
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	return positions, ix.WindowsScanned(start, end), nil
+}
+
+// timeIndex loads (or rebuilds) the coarse-grain time index of a topic.
+func (bag *Bag) timeIndex(t *container.Topic) (*timeindex.Index, error) {
+	bag.mu.Lock()
+	defer bag.mu.Unlock()
+	if bag.timeIdx == nil {
+		bag.timeIdx = map[string]*timeindex.Index{}
+	}
+	if ix, ok := bag.timeIdx[t.Name()]; ok {
+		return ix, nil
+	}
+	var ix *timeindex.Index
+	if buf, err := os.ReadFile(filepath.Join(t.Dir(), container.TimeIdxFileName)); err == nil {
+		ix, err = timeindex.Unmarshal(buf)
+		if err != nil {
+			return nil, fmt.Errorf("bora: time index of %q: %w", t.Name(), err)
+		}
+	} else {
+		// No persisted index (e.g. container built by an older tool):
+		// rebuild from the entry list.
+		entries, err := t.Entries()
+		if err != nil {
+			return nil, err
+		}
+		ix = timeindex.New(bag.opts.TimeWindow)
+		for i, e := range entries {
+			ix.Add(e.Time, uint32(i))
+		}
+	}
+	bag.timeIdx[t.Name()] = ix
+	return ix, nil
+}
+
+// ReadMessagesTime performs the combined query by topics and start–end
+// time (Fig 8): the coarse-grain time index reduces each topic's scan to
+// the windows overlapping [start, end] before the fine-grain timestamp
+// filter.
+func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+	if end.IsZero() {
+		end = bagio.MaxTime
+	}
+	if end.Before(start) {
+		return fmt.Errorf("bora: end time %v before start time %v", end, start)
+	}
+	resolved, err := bag.resolve(topics)
+	if err != nil {
+		return err
+	}
+	for _, t := range resolved {
+		if err := bag.readTopicRange(t, start, end, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeItem is one cursor of the chronological merge.
+type mergeItem struct {
+	topic   *container.Topic
+	entries []container.IndexEntry
+	pos     int
+	file    container.DataReader
+}
+
+type mergeHeap []*mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return h[i].entries[h[i].pos].Time.Before(h[j].entries[h[j].pos].Time)
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ReadMessagesChrono yields messages of the requested topics in global
+// timestamp order, merging the per-topic streams through a k-way heap.
+// It exists for consumers (e.g. SLAM replays) that need cross-topic
+// chronology; pure extraction workloads should prefer ReadMessages.
+func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+	if end.IsZero() {
+		end = bagio.MaxTime
+	}
+	resolved, err := bag.resolve(topics)
+	if err != nil {
+		return err
+	}
+	var d Stats
+	defer func() { bag.addStats(d) }()
+	var h mergeHeap
+	defer func() {
+		for _, it := range h {
+			it.file.Close()
+		}
+	}()
+	for _, t := range resolved {
+		entries, err := t.Entries()
+		if err != nil {
+			return err
+		}
+		// Restrict to the queried range up front.
+		positions, windows, err := bag.positionsInRange(t, entries, start, end)
+		if err != nil {
+			return err
+		}
+		d.WindowsScanned += windows
+		filtered := make([]container.IndexEntry, 0, len(positions))
+		for _, pos := range positions {
+			e := entries[pos]
+			d.EntriesScanned++
+			if e.Time.Before(start) || end.Before(e.Time) {
+				continue
+			}
+			filtered = append(filtered, e)
+		}
+		if len(filtered) == 0 {
+			continue
+		}
+		sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].Time.Before(filtered[j].Time) })
+		df, err := t.OpenData()
+		if err != nil {
+			return err
+		}
+		d.Seeks++
+		h = append(h, &mergeItem{topic: t, entries: filtered, file: df})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := h[0]
+		e := it.entries[it.pos]
+		data, err := it.topic.ReadMessage(it.file, e)
+		if err != nil {
+			return err
+		}
+		d.BytesRead += int64(len(data))
+		d.MessagesRead++
+		if err := fn(MessageRef{Conn: it.topic.Connection(), Time: e.Time, Data: data}); err != nil {
+			return err
+		}
+		it.pos++
+		if it.pos >= len(it.entries) {
+			heap.Pop(&h).(*mergeItem).file.Close()
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return nil
+}
+
+// Export reconstructs a standard bag file from the container so the bag
+// can be shared with machines that do not run BORA ("bag is a file").
+// Messages are written in chronological order.
+func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) error {
+	w, err := rosbag.NewWriter(ws, opts)
+	if err != nil {
+		return err
+	}
+	conns := map[string]uint32{}
+	for _, name := range bag.Topics() {
+		t, err := bag.c.Topic(name)
+		if err != nil {
+			return err
+		}
+		id, err := w.AddConnection(name, t.Connection().Type)
+		if err != nil {
+			return err
+		}
+		conns[name] = id
+	}
+	err = bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+		return w.WriteMessage(conns[m.Conn.Topic], m.Time, m.Data)
+	})
+	if err != nil {
+		return err
+	}
+	return w.Close()
+}

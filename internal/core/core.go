@@ -1,0 +1,259 @@
+// Package core is BORA-Lib: the public facade of the Bag Optimizer for
+// Robotic Analysis. A BORA instance manages a back-end directory on the
+// underlying file system in which each logical bag is stored as a
+// container (internal/container). The three advanced operations of the
+// paper are implemented here:
+//
+//   - Duplicate — data duplication (Fig 6): a one-time re-organization of
+//     an existing bag into a container, performed by the data organizer's
+//     scanner + worker pool.
+//   - Open + ReadMessages — data acquisition (Fig 7): opening a bag only
+//     parses the container's sub-directories and builds the tag manager's
+//     hash table; a query by topics resolves back-end paths through the
+//     table and reads each topic's contiguous data file sequentially.
+//   - ReadMessagesTime — query by topics and start–end time (Fig 8):
+//     the coarse-grain time index bounds the scan to the windows
+//     overlapping the requested range before the fine-grain timestamp
+//     filter runs.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/container"
+	"repro/internal/organizer"
+	"repro/internal/rosbag"
+	"repro/internal/tagman"
+	"repro/internal/timeindex"
+)
+
+// Options configure a BORA instance.
+type Options struct {
+	// TimeWindow is the coarse-grain time-index window width used when
+	// containers are built. Zero selects timeindex.DefaultWindow. The
+	// paper notes "the value of the time window can be configured by a
+	// developer".
+	TimeWindow time.Duration
+	// Workers is the data organizer's distribution pool size; zero lets
+	// the organizer size itself from system specs.
+	Workers int
+	// Stripes > 1 stripes each topic's data across lane files
+	// (internal/stripe), matching the layout of parallel file systems.
+	Stripes int
+	// StripeSize is the lane stripe width when Stripes > 1; zero selects
+	// the stripe default.
+	StripeSize int64
+}
+
+func (o *Options) fill() {
+	if o.TimeWindow <= 0 {
+		o.TimeWindow = timeindex.DefaultWindow
+	}
+}
+
+// BORA manages logical bags stored as containers under a back-end root
+// directory.
+type BORA struct {
+	root string
+	opts Options
+}
+
+// New opens (creating if needed) a BORA back end rooted at dir.
+func New(dir string, opts Options) (*BORA, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bora: create back end: %w", err)
+	}
+	return &BORA{root: dir, opts: opts}, nil
+}
+
+// Root returns the back-end directory.
+func (b *BORA) Root() string { return b.root }
+
+// List returns the names of the logical bags present on the back end.
+func (b *BORA) List() ([]string, error) {
+	ents, err := os.ReadDir(b.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(b.root, ent.Name(), container.MetaFileName)); err == nil {
+			out = append(out, ent.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes a logical bag's container.
+func (b *BORA) Remove(name string) error {
+	dir := filepath.Join(b.root, name)
+	if _, err := os.Stat(filepath.Join(dir, container.MetaFileName)); err != nil {
+		return fmt.Errorf("bora: %q is not a BORA bag: %w", name, err)
+	}
+	return os.RemoveAll(dir)
+}
+
+// topicSink adapts a container.TopicWriter to the organizer and builds
+// the coarse-grain time index as messages stream through.
+type topicSink struct {
+	tw     *container.TopicWriter
+	tix    *timeindex.Index
+	dir    string
+	nextID uint32
+}
+
+func (s *topicSink) Append(t bagio.Time, payload []byte) error {
+	if err := s.tw.Append(t, payload); err != nil {
+		return err
+	}
+	s.tix.Add(t, s.nextID)
+	s.nextID++
+	return nil
+}
+
+func (s *topicSink) Close() error {
+	if err := s.tw.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, container.TimeIdxFileName), s.tix.Marshal(), 0o644)
+}
+
+// DuplicateStats reports the work done by a duplication.
+type DuplicateStats struct {
+	Messages int64
+	Bytes    int64
+	Topics   int
+}
+
+// Duplicate re-organizes the bag file at bagPath into a new container
+// named name (the BORA data duplication operation, Fig 6). The source
+// bag is read exactly once, sequentially.
+func (b *BORA) Duplicate(bagPath, name string) (*Bag, DuplicateStats, error) {
+	f, err := os.Open(bagPath)
+	if err != nil {
+		return nil, DuplicateStats{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, DuplicateStats{}, err
+	}
+	return b.DuplicateFrom(f, st.Size(), name)
+}
+
+// DuplicateFrom is Duplicate reading from an arbitrary source.
+func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, DuplicateStats, error) {
+	c, err := container.Create(filepath.Join(b.root, name))
+	if err != nil {
+		return nil, DuplicateStats{}, err
+	}
+	dist := organizer.New(func(conn *bagio.Connection) (organizer.TopicSink, error) {
+		tw, err := c.CreateTopicOpts(conn, container.TopicOptions{Stripes: b.opts.Stripes, StripeSize: b.opts.StripeSize})
+		if err != nil {
+			return nil, err
+		}
+		dir, err := c.TopicPath(conn.Topic)
+		if err != nil {
+			return nil, err
+		}
+		return &topicSink{tw: tw, tix: timeindex.New(b.opts.TimeWindow), dir: dir}, nil
+	}, organizer.Options{Workers: b.opts.Workers})
+
+	scanErr := rosbag.Scan(r, size, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
+		return dist.Dispatch(conn, t, data)
+	})
+	stats, distErr := dist.Close()
+	if scanErr != nil {
+		return nil, DuplicateStats{}, fmt.Errorf("bora: duplicate scan: %w", scanErr)
+	}
+	if distErr != nil {
+		return nil, DuplicateStats{}, fmt.Errorf("bora: duplicate distribute: %w", distErr)
+	}
+	bag, err := b.Open(name)
+	if err != nil {
+		return nil, DuplicateStats{}, err
+	}
+	return bag, DuplicateStats{Messages: stats.Messages, Bytes: stats.Bytes, Topics: stats.Topics}, nil
+}
+
+// CopyContainer duplicates an existing BORA container into this back end
+// by copying its directory tree ("for later data sharing, bags will be
+// copied as sub-directory trees if a target machine installs BORA"). No
+// re-organization happens — this is why BORA-to-BORA copies run at
+// native file-system speed in Fig 9.
+func (b *BORA) CopyContainer(srcRoot, name string) (*Bag, error) {
+	src, err := container.Open(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	dstRoot := filepath.Join(b.root, name)
+	if err := copyTree(src.Root(), dstRoot); err != nil {
+		return nil, fmt.Errorf("bora: copy container: %w", err)
+	}
+	return b.Open(name)
+}
+
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}
+
+// Open opens a logical bag with the BORA-assisted open (Fig 4b): parse
+// the container's sub-directories and build the tag manager's hash table
+// on the fly. No data or index file is touched.
+func (b *BORA) Open(name string) (*Bag, error) {
+	c, err := container.Open(filepath.Join(b.root, name))
+	if err != nil {
+		return nil, err
+	}
+	paths := map[string]string{}
+	for _, topic := range c.Topics() {
+		p, err := c.TopicPath(topic)
+		if err != nil {
+			return nil, err
+		}
+		paths[topic] = p
+	}
+	return &Bag{
+		name: name,
+		c:    c,
+		tags: tagman.Build(paths),
+		opts: b.opts,
+	}, nil
+}

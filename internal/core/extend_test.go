@@ -1,0 +1,543 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/msgs"
+	"repro/internal/rosbag"
+)
+
+func TestRecorderOnlineMode(t *testing.T) {
+	b := newBORA(t)
+	rec, err := b.CreateBag("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(2_000_000_000) * 1e9
+	for i := 0; i < 50; i++ {
+		ts := bagio.TimeFromNanos(base + int64(i)*1e8)
+		if err := rec.WriteMsg("/imu", ts, &msgs.Imu{Header: msgs.Header{Seq: uint32(i), Stamp: ts}}); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			tf := &msgs.TFMessage{Transforms: []msgs.TransformStamped{{Header: msgs.Header{Stamp: ts}}}}
+			if err := rec.WriteMsg("/tf", ts, tf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rec.MessageCount() != 60 {
+		t.Errorf("MessageCount = %d", rec.MessageCount())
+	}
+	if got := rec.Topics(); len(got) != 2 || got[0] != "/imu" {
+		t.Errorf("Topics = %v", got)
+	}
+	bag, err := rec.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+	if err := rec.WriteMsg("/imu", bagio.Time{}, &msgs.Imu{}); err == nil {
+		t.Error("write after Close accepted")
+	}
+
+	// The recorded bag answers queries like a duplicated one, including
+	// window-bounded time queries from the online-built time index.
+	if n, err := bag.MessageCount(); err != nil || n != 60 {
+		t.Errorf("bag MessageCount = %d, %v", n, err)
+	}
+	start := bagio.TimeFromNanos(base + 1e9)
+	end := bagio.TimeFromNanos(base + 2e9)
+	var count int
+	if err := bag.ReadMessagesTime([]string{"/imu"}, start, end, func(m MessageRef) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 11 { // samples at 1.0s..2.0s inclusive at 10 Hz
+		t.Errorf("windowed count = %d, want 11", count)
+	}
+	// Connections carry md5/definition filled from msgdef.
+	conns, err := bag.Connections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		if c.MD5Sum == "" || c.Def == "" {
+			t.Errorf("connection %s missing metadata", c.Topic)
+		}
+	}
+}
+
+func TestRecorderConcurrentTopics(t *testing.T) {
+	b := newBORA(t)
+	rec, err := b.CreateBag("conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	topics := []string{"/a", "/b", "/c", "/d"}
+	for _, topic := range topics {
+		wg.Add(1)
+		go func(topic string) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ts := bagio.Time{Sec: uint32(1000 + i)}
+				m := &msgs.TransformStamped{Header: msgs.Header{Seq: uint32(i), Stamp: ts}}
+				if err := rec.WriteMsg(topic, ts, m); err != nil {
+					t.Errorf("%s: %v", topic, err)
+					return
+				}
+			}
+		}(topic)
+	}
+	wg.Wait()
+	bag, err := rec.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := bag.MessageCount(); n != 400 {
+		t.Errorf("MessageCount = %d", n)
+	}
+	for _, topic := range topics {
+		tp, err := bag.Container().Topic(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := tp.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Time.Before(entries[i-1].Time) {
+				t.Errorf("%s: entries out of order at %d", topic, i)
+			}
+		}
+	}
+}
+
+func TestCreateBagDuplicateName(t *testing.T) {
+	b := newBORA(t)
+	if _, err := b.CreateBag("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateBag("x"); err == nil {
+		t.Error("duplicate CreateBag accepted")
+	}
+}
+
+func TestRebagByTopic(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 6)
+	bag, _, err := b.Duplicate(src, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, kept, err := b.Rebag(bag, "imu_only", FilterSpec{Topics: []string{"/imu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 60 {
+		t.Errorf("kept = %d, want 60", kept)
+	}
+	if got := sub.Topics(); len(got) != 1 || got[0] != "/imu" {
+		t.Errorf("Topics = %v", got)
+	}
+	if n, _ := sub.MessageCount(); n != 60 {
+		t.Errorf("MessageCount = %d", n)
+	}
+}
+
+func TestRebagTimeAndPredicate(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 10)
+	bag, _, err := b.Duplicate(src, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_000_000_000_000_000_000)
+	spec := FilterSpec{
+		Topics: []string{"/imu"},
+		Start:  bagio.TimeFromNanos(base + 2e9),
+		End:    bagio.TimeFromNanos(base + 5e9 - 1),
+		Keep: func(m MessageRef) bool {
+			var imu msgs.Imu
+			if err := imu.Unmarshal(m.Data); err != nil {
+				return false
+			}
+			return imu.Header.Seq%2 == 0 // keep even samples only
+		},
+	}
+	sub, kept, err := b.Rebag(bag, "window_even", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 15 { // 3 seconds × 10 Hz = 30 in window, half even
+		t.Errorf("kept = %d, want 15", kept)
+	}
+	err = sub.ReadMessages(nil, func(m MessageRef) error {
+		var imu msgs.Imu
+		if err := imu.Unmarshal(m.Data); err != nil {
+			return err
+		}
+		if imu.Header.Seq%2 != 0 {
+			t.Errorf("odd sample %d leaked through", imu.Header.Seq)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Rebag(nil, "x", FilterSpec{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, _, err := b.Rebag(bag, "full", FilterSpec{}); err == nil {
+		t.Error("rebag onto existing name accepted")
+	}
+}
+
+func TestMultiBag(t *testing.T) {
+	b := newBORA(t)
+	names := []string{"r0", "r1", "r2"}
+	for i, name := range names {
+		src := makeSourceBag(t, t.TempDir(), 3+i)
+		if _, _, err := b.Duplicate(src, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mb, err := b.OpenMulti(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.Bags()) != 3 {
+		t.Fatalf("Bags = %d", len(mb.Bags()))
+	}
+	common := mb.CommonTopics()
+	if len(common) != 3 {
+		t.Errorf("CommonTopics = %v", common)
+	}
+
+	var mu sync.Mutex
+	perBag := map[string]int{}
+	err = mb.ReadMessages([]string{"/imu"}, func(m MultiRef) error {
+		if m.Conn.Topic != "/imu" {
+			t.Errorf("topic %s", m.Conn.Topic)
+		}
+		mu.Lock()
+		perBag[m.BagName]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r0: 3s × 10 Hz, r1: 4s, r2: 5s.
+	for i, name := range names {
+		if got, want := perBag[name], (3+i)*10; got != want {
+			t.Errorf("%s: %d messages, want %d", name, got, want)
+		}
+	}
+	if st := mb.Stats(); st.MessagesRead != 120 {
+		t.Errorf("Stats.MessagesRead = %d", st.MessagesRead)
+	}
+
+	// Time-bounded cross-bag query.
+	base := int64(1_000_000_000_000_000_000)
+	var count int64
+	var cmu sync.Mutex
+	err = mb.ReadMessagesTime([]string{"/imu"},
+		bagio.TimeFromNanos(base), bagio.TimeFromNanos(base+1e9-1),
+		func(m MultiRef) error {
+			cmu.Lock()
+			count++
+			cmu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 30 { // first second of each of 3 bags
+		t.Errorf("windowed cross-bag count = %d, want 30", count)
+	}
+
+	if _, err := b.OpenMulti(nil); err == nil {
+		t.Error("empty OpenMulti accepted")
+	}
+	if _, err := b.OpenMulti([]string{"r0", "missing"}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing bag error = %v", err)
+	}
+}
+
+func TestReadMessagesParallel(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 8)
+	bag, _, err := b.Duplicate(src, "bag1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	perTopic := map[string][]bagio.Time{}
+	err = bag.ReadMessagesParallel(nil, 4, func(m MessageRef) error {
+		mu.Lock()
+		perTopic[m.Conn.Topic] = append(perTopic[m.Conn.Topic], m.Time)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perTopic) != 3 {
+		t.Fatalf("topics = %d", len(perTopic))
+	}
+	total := 0
+	for topic, times := range perTopic {
+		total += len(times)
+		for i := 1; i < len(times); i++ {
+			if times[i].Before(times[i-1]) {
+				t.Errorf("%s: per-topic order violated", topic)
+				break
+			}
+		}
+	}
+	if total != 128 { // 8s × 16 msgs
+		t.Errorf("total = %d, want 128", total)
+	}
+	// Serial and parallel agree on counts.
+	serial := 0
+	if err := bag.ReadMessages(nil, func(MessageRef) error { serial++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if serial != total {
+		t.Errorf("serial %d vs parallel %d", serial, total)
+	}
+	// workers <= 0 and workers == 1 both work.
+	n := 0
+	var nmu sync.Mutex
+	if err := bag.ReadMessagesParallel([]string{"/imu"}, 0, func(MessageRef) error {
+		nmu.Lock()
+		n++
+		nmu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 80 {
+		t.Errorf("imu parallel count = %d", n)
+	}
+	if err := bag.ReadMessagesParallel([]string{"/missing"}, 2, func(MessageRef) error { return nil }); err == nil {
+		t.Error("unknown topic accepted")
+	}
+}
+
+func TestReadMessagesTimeParallel(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 10)
+	bag, _, err := b.Duplicate(src, "bag1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_000_000_000_000_000_000)
+	start := bagio.TimeFromNanos(base + 2e9)
+	end := bagio.TimeFromNanos(base + 5e9 - 1)
+	var mu sync.Mutex
+	count := 0
+	err = bag.ReadMessagesTimeParallel([]string{"/imu", "/tf"}, start, end, 2, func(m MessageRef) error {
+		if m.Time.Before(start) || end.Before(m.Time) {
+			t.Errorf("message at %v outside window", m.Time)
+		}
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 45 { // 3s × (10 imu + 5 tf)
+		t.Errorf("count = %d, want 45", count)
+	}
+}
+
+func TestStripedBackendEndToEnd(t *testing.T) {
+	b, err := New(filepath.Join(t.TempDir(), "backend"), Options{
+		TimeWindow: time.Second, Workers: 2, Stripes: 4, StripeSize: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := makeSourceBag(t, t.TempDir(), 6)
+	bag, stats, err := b.Duplicate(src, "striped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 96 {
+		t.Errorf("Messages = %d", stats.Messages)
+	}
+	for _, topic := range bag.Topics() {
+		tp, err := bag.Container().Topic(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Striped() != 4 {
+			t.Errorf("%s: Striped = %d", topic, tp.Striped())
+		}
+	}
+	// Queries behave identically over the striped layout.
+	var count int
+	if err := bag.ReadMessages([]string{"/imu"}, func(m MessageRef) error {
+		var imu msgs.Imu
+		if err := imu.Unmarshal(m.Data); err != nil {
+			return err
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 60 {
+		t.Errorf("imu count = %d", count)
+	}
+	base := int64(1_000_000_000_000_000_000)
+	count = 0
+	if err := bag.ReadMessagesTime([]string{"/tf"},
+		bagio.TimeFromNanos(base+1e9), bagio.TimeFromNanos(base+3e9-1),
+		func(MessageRef) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("windowed tf count = %d", count)
+	}
+	if _, err := bag.Container().Verify(); err != nil {
+		t.Errorf("striped container verify: %v", err)
+	}
+	// Export from the striped layout still produces a valid bag.
+	out := filepath.Join(t.TempDir(), "out.bag")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bag.Export(f, rosbag.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, rf, err := rosbag.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if got := r.MessageCount(); got != 96 {
+		t.Errorf("exported count = %d", got)
+	}
+}
+
+func TestBagInfo(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 5)
+	bag, _, err := b.Duplicate(src, "bag1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := bag.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "bag1" {
+		t.Errorf("Name = %s", info.Name)
+	}
+	if info.Messages != 80 {
+		t.Errorf("Messages = %d", info.Messages)
+	}
+	if len(info.Topics) != 3 {
+		t.Fatalf("Topics = %d", len(info.Topics))
+	}
+	byTopic := map[string]TopicInfo{}
+	for _, ti := range info.Topics {
+		byTopic[ti.Topic] = ti
+	}
+	imu := byTopic["/imu"]
+	if imu.Messages != 50 || imu.Type != "sensor_msgs/Imu" {
+		t.Errorf("imu info = %+v", imu)
+	}
+	// 50 samples at 10 Hz over 4.9 s → ~10 Hz.
+	if imu.RateHz < 9 || imu.RateHz > 11 {
+		t.Errorf("imu rate = %.1f Hz", imu.RateHz)
+	}
+	if imu.Striped != 1 {
+		t.Errorf("imu Striped = %d", imu.Striped)
+	}
+	if info.End.Sub(info.Start) <= 0 {
+		t.Error("time range empty")
+	}
+	s := info.String()
+	for _, want := range []string{"/imu", "messages: 80", "sensor_msgs/Imu"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Info.String missing %q", want)
+		}
+	}
+	// Info must not read any payload bytes.
+	if st := bag.Stats(); st.BytesRead != 0 {
+		t.Errorf("Info touched %d data bytes", st.BytesRead)
+	}
+}
+
+// Property: the chronological merge yields exactly the multiset of the
+// per-topic streams, globally sorted by timestamp.
+func TestChronoEqualsSortedUnion(t *testing.T) {
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), 7)
+	bag, _, err := b.Duplicate(src, "bag1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		topic string
+		time  bagio.Time
+	}
+	var union []rec
+	if err := bag.ReadMessages(nil, func(m MessageRef) error {
+		union = append(union, rec{m.Conn.Topic, m.Time})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(union, func(i, j int) bool { return union[i].time.Before(union[j].time) })
+
+	var merged []rec
+	if err := bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+		merged = append(merged, rec{m.Conn.Topic, m.Time})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(union) {
+		t.Fatalf("merged %d vs union %d", len(merged), len(union))
+	}
+	for i := range merged {
+		if merged[i].time != union[i].time {
+			t.Fatalf("timestamp order diverges at %d: %v vs %v", i, merged[i].time, union[i].time)
+		}
+	}
+	// Same multiset of (topic,time) pairs.
+	count := map[rec]int{}
+	for _, r := range union {
+		count[r]++
+	}
+	for _, r := range merged {
+		count[r]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %+v (%d)", k, v)
+		}
+	}
+}

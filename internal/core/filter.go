@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bagio"
+)
+
+// FilterSpec selects the subset of a bag that Rebag keeps: the listed
+// topics (all when empty) within [Start, End] (the whole axis when both
+// are zero), optionally passing each message through Keep.
+type FilterSpec struct {
+	Topics []string
+	Start  bagio.Time
+	End    bagio.Time
+	// Keep, when non-nil, is the per-message predicate; rebagging "can
+	// extract messages that match a particular filter into a new bag".
+	Keep func(MessageRef) bool
+}
+
+// Rebag materializes the filtered subset of bag as a new logical bag on
+// the same back end — the paper's rebagging operation, performed
+// container-to-container so the result is already BORA-organized (no
+// intermediate bag file, no re-duplication).
+func (b *BORA) Rebag(bag *Bag, newName string, spec FilterSpec) (*Bag, int64, error) {
+	if bag == nil {
+		return nil, 0, fmt.Errorf("bora: nil source bag")
+	}
+	end := spec.End
+	if end.IsZero() {
+		end = bagio.MaxTime
+	}
+	rec, err := b.CreateBag(newName)
+	if err != nil {
+		return nil, 0, err
+	}
+	var kept int64
+	err = bag.ReadMessagesTime(spec.Topics, spec.Start, end, func(m MessageRef) error {
+		if spec.Keep != nil && !spec.Keep(m) {
+			return nil
+		}
+		kept++
+		return rec.WriteRaw(m.Conn.Topic, m.Conn.Type, m.Time, m.Data)
+	})
+	if err != nil {
+		return nil, kept, fmt.Errorf("bora: rebag: %w", err)
+	}
+	out, err := rec.Close()
+	if err != nil {
+		return nil, kept, err
+	}
+	return out, kept, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/bagio"
+	"repro/internal/container"
+	"repro/internal/msgdef"
+	"repro/internal/msgs"
+	"repro/internal/timeindex"
+)
+
+// Recorder writes messages directly into a BORA container as they
+// arrive — the paper's "online usage of BORA" (Section III-C), which
+// skips the intermediate log-structured bag entirely: data lands
+// pre-organized by topic, so no duplication pass is ever needed.
+//
+// A Recorder is safe for concurrent writers on different topics; writes
+// to the same topic are serialized per topic.
+type Recorder struct {
+	b    *BORA
+	name string
+	c    *container.Container
+
+	mu     sync.Mutex
+	topics map[string]*recordTopic
+	count  int64
+	closed bool
+}
+
+type recordTopic struct {
+	mu   sync.Mutex
+	tw   *container.TopicWriter
+	tix  *timeindex.Index
+	dir  string
+	next uint32
+	last bagio.Time
+}
+
+// CreateBag starts recording a new logical bag directly into a
+// container on the back end.
+func (b *BORA) CreateBag(name string) (*Recorder, error) {
+	c, err := container.Create(filepath.Join(b.root, name))
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{b: b, name: name, c: c, topics: map[string]*recordTopic{}}, nil
+}
+
+// topic returns (creating on first use) the per-topic writer state.
+func (r *Recorder) topic(topic, msgType string) (*recordTopic, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("bora: recorder for %q is closed", r.name)
+	}
+	if rt, ok := r.topics[topic]; ok {
+		return rt, nil
+	}
+	conn := &bagio.Connection{ID: uint32(len(r.topics)), Topic: topic, Type: msgType}
+	if sum, err := msgdef.MD5(msgType); err == nil {
+		conn.MD5Sum = sum
+	}
+	if def, err := msgdef.FullText(msgType); err == nil {
+		conn.Def = def
+	}
+	tw, err := r.c.CreateTopicOpts(conn, container.TopicOptions{Stripes: r.b.opts.Stripes, StripeSize: r.b.opts.StripeSize})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := r.c.TopicPath(topic)
+	if err != nil {
+		return nil, err
+	}
+	rt := &recordTopic{tw: tw, tix: timeindex.New(r.b.opts.TimeWindow), dir: dir}
+	r.topics[topic] = rt
+	return rt, nil
+}
+
+// WriteRaw appends one serialized message on a topic.
+func (r *Recorder) WriteRaw(topic, msgType string, t bagio.Time, data []byte) error {
+	rt, err := r.topic(topic, msgType)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.tw.Append(t, data); err != nil {
+		return err
+	}
+	rt.tix.Add(t, rt.next)
+	rt.next++
+	rt.last = t
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+	return nil
+}
+
+// WriteMsg marshals and appends one typed message.
+func (r *Recorder) WriteMsg(topic string, t bagio.Time, m msgs.Message) error {
+	return r.WriteRaw(topic, m.TypeName(), t, m.Marshal(nil))
+}
+
+// MessageCount returns the number of messages recorded so far.
+func (r *Recorder) MessageCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Topics returns the sorted topics recorded so far.
+func (r *Recorder) Topics() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.topics))
+	for t := range r.topics {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close seals every topic (persisting indexes and time indexes) and
+// returns the recorded bag, opened.
+func (r *Recorder) Close() (*Bag, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("bora: recorder for %q already closed", r.name)
+	}
+	r.closed = true
+	topics := make([]*recordTopic, 0, len(r.topics))
+	for _, rt := range r.topics {
+		topics = append(topics, rt)
+	}
+	r.mu.Unlock()
+	for _, rt := range topics {
+		rt.mu.Lock()
+		err := rt.tw.Close()
+		if err == nil {
+			err = os.WriteFile(filepath.Join(rt.dir, container.TimeIdxFileName), rt.tix.Marshal(), 0o644)
+		}
+		rt.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r.b.Open(r.name)
+}

@@ -1,0 +1,148 @@
+package dbsim
+
+// btree is a from-scratch in-memory B-tree keyed by uint64 with opaque
+// values; it backs the relational engine's primary-key index. Order 32
+// keeps the tree shallow for the workload sizes of Fig 2.
+const btreeOrder = 32 // max children per node
+
+type btreeNode struct {
+	keys     []uint64
+	values   [][]byte
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+type btree struct {
+	root  *btreeNode
+	size  int
+	depth int
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{}, depth: 1}
+}
+
+// findIndex returns the position of key (or where it would insert).
+func findIndex(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// get returns the value for key and how many nodes the descent visited.
+func (t *btree) get(key uint64) (value []byte, visited int, ok bool) {
+	n := t.root
+	for {
+		visited++
+		i, found := findIndex(n.keys, key)
+		if found {
+			return n.values[i], visited, true
+		}
+		if n.leaf() {
+			return nil, visited, false
+		}
+		n = n.children[i]
+	}
+}
+
+// insert adds key→value, returning nodes visited and whether the key was
+// new. Existing keys are overwritten.
+func (t *btree) insert(key uint64, value []byte) (visited int, fresh bool) {
+	if len(t.root.keys) == 2*btreeOrder-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+		t.depth++
+	}
+	visited, fresh = t.root.insertNonFull(key, value)
+	if fresh {
+		t.size++
+	}
+	return visited, fresh
+}
+
+func (n *btreeNode) insertNonFull(key uint64, value []byte) (visited int, fresh bool) {
+	visited = 1
+	i, found := findIndex(n.keys, key)
+	if found {
+		n.values[i] = value
+		return visited, false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, 0)
+		n.values = append(n.values, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.values[i+1:], n.values[i:])
+		n.keys[i] = key
+		n.values[i] = value
+		return visited, true
+	}
+	if len(n.children[i].keys) == 2*btreeOrder-1 {
+		n.splitChild(i)
+		if key > n.keys[i] {
+			i++
+		} else if key == n.keys[i] {
+			n.values[i] = value
+			return visited, false
+		}
+	}
+	v, fresh := n.children[i].insertNonFull(key, value)
+	return visited + v, fresh
+}
+
+// splitChild splits the full child at index i, hoisting its median.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeOrder - 1
+	midKey, midVal := child.keys[mid], child.values[mid]
+
+	right := &btreeNode{
+		keys:   append([]uint64(nil), child.keys[mid+1:]...),
+		values: append([][]byte(nil), child.values[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.values = child.values[:mid]
+
+	n.keys = append(n.keys, 0)
+	n.values = append(n.values, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.values[i+1:], n.values[i:])
+	n.keys[i] = midKey
+	n.values[i] = midVal
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// ascend visits all keys in order.
+func (t *btree) ascend(fn func(key uint64, value []byte) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *btreeNode) ascend(fn func(uint64, []byte) bool) bool {
+	for i := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(n.keys[i], n.values[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}

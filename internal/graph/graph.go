@@ -1,0 +1,338 @@
+// Package graph implements the ROS computation-graph substrate of
+// Fig 1a/1c: a peer-to-peer set of nodes exchanging typed messages over
+// logical publish/subscribe buses called topics. Publishers and
+// subscribers are decoupled — neither knows of the other's existence —
+// and each subscriber has a bounded queue with drop-oldest-first
+// semantics, matching ROS's queue_size behaviour under back-pressure.
+//
+// The Recorder in record.go subscribes to topics and streams messages
+// into a bag, reproducing the `rosbag record` node of Fig 1c.
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bagio"
+	"repro/internal/msgs"
+)
+
+// Message is one delivered publication.
+type Message struct {
+	Topic string
+	Type  string
+	Time  bagio.Time
+	Data  []byte // serialized payload; owned by the receiver
+}
+
+// Graph is the registry of nodes and topic buses (the "ROS master").
+type Graph struct {
+	mu     sync.Mutex
+	topics map[string]*bus
+	nodes  map[string]*Node
+	closed bool
+}
+
+// bus is one topic's fan-out point.
+type bus struct {
+	name    string
+	msgType string
+
+	mu      sync.Mutex
+	subs    []*Subscriber
+	latched *Message // last message on a latched topic
+}
+
+// New creates an empty computation graph.
+func New() *Graph {
+	return &Graph{topics: map[string]*bus{}, nodes: map[string]*Node{}}
+}
+
+// NewNode registers a process in the graph.
+func (g *Graph) NewNode(name string) (*Node, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("graph: graph is shut down")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("graph: empty node name")
+	}
+	if _, dup := g.nodes[name]; dup {
+		return nil, fmt.Errorf("graph: node %q already registered", name)
+	}
+	n := &Node{g: g, name: name}
+	g.nodes[name] = n
+	return n, nil
+}
+
+// Nodes returns the registered node names.
+func (g *Graph) Nodes() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Topics returns the advertised (topic, type) pairs.
+func (g *Graph) Topics() map[string]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]string, len(g.topics))
+	for name, b := range g.topics {
+		out[name] = b.msgType
+	}
+	return out
+}
+
+// topicBus returns (creating if needed) the bus for a topic, enforcing
+// type consistency.
+func (g *Graph) topicBus(topic, msgType string) (*bus, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("graph: graph is shut down")
+	}
+	b, ok := g.topics[topic]
+	if !ok {
+		b = &bus{name: topic, msgType: msgType}
+		g.topics[topic] = b
+		return b, nil
+	}
+	if msgType != "" && b.msgType != "" && b.msgType != msgType {
+		return nil, fmt.Errorf("graph: topic %q is %s, not %s", topic, b.msgType, msgType)
+	}
+	if b.msgType == "" {
+		b.msgType = msgType
+	}
+	return b, nil
+}
+
+// Shutdown stops delivery and closes every subscriber.
+func (g *Graph) Shutdown() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	buses := make([]*bus, 0, len(g.topics))
+	for _, b := range g.topics {
+		buses = append(buses, b)
+	}
+	g.mu.Unlock()
+	for _, b := range buses {
+		b.mu.Lock()
+		subs := append([]*Subscriber(nil), b.subs...)
+		b.subs = nil
+		b.mu.Unlock()
+		for _, s := range subs {
+			s.close()
+		}
+	}
+}
+
+// Node is one process in the graph.
+type Node struct {
+	g    *Graph
+	name string
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Publisher sends messages on one topic.
+type Publisher struct {
+	node  *Node
+	bus   *bus
+	latch bool
+
+	mu        sync.Mutex
+	published int64
+}
+
+// Advertise declares that the node publishes msgType on topic.
+func (n *Node) Advertise(topic, msgType string) (*Publisher, error) {
+	return n.advertise(topic, msgType, false)
+}
+
+// AdvertiseLatched is Advertise with ROS latching semantics: the last
+// published message is re-delivered to every new subscriber (used for
+// slow-changing state like maps and calibration).
+func (n *Node) AdvertiseLatched(topic, msgType string) (*Publisher, error) {
+	return n.advertise(topic, msgType, true)
+}
+
+func (n *Node) advertise(topic, msgType string, latch bool) (*Publisher, error) {
+	if topic == "" || msgType == "" {
+		return nil, fmt.Errorf("graph: Advertise needs topic and type")
+	}
+	b, err := n.g.topicBus(topic, msgType)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{node: n, bus: b, latch: latch}, nil
+}
+
+// Publish serializes m and fans it out to every subscriber.
+func (p *Publisher) Publish(t bagio.Time, m msgs.Message) error {
+	if m.TypeName() != p.bus.msgType {
+		return fmt.Errorf("graph: publish %s on %s topic %q", m.TypeName(), p.bus.msgType, p.bus.name)
+	}
+	return p.PublishRaw(t, m.Marshal(nil))
+}
+
+// PublishRaw fans out pre-serialized bytes. The buffer is not copied;
+// callers must not reuse it.
+func (p *Publisher) PublishRaw(t bagio.Time, data []byte) error {
+	p.mu.Lock()
+	p.published++
+	p.mu.Unlock()
+	msg := Message{Topic: p.bus.name, Type: p.bus.msgType, Time: t, Data: data}
+	p.bus.mu.Lock()
+	if p.latch {
+		latched := msg
+		p.bus.latched = &latched
+	}
+	subs := append([]*Subscriber(nil), p.bus.subs...)
+	p.bus.mu.Unlock()
+	for _, s := range subs {
+		s.offer(msg)
+	}
+	return nil
+}
+
+// Published returns how many messages this publisher has sent.
+func (p *Publisher) Published() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published
+}
+
+// Subscriber receives one topic's messages through a bounded queue.
+type Subscriber struct {
+	node  *Node
+	bus   *bus
+	queue chan Message
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	dropped int64
+	closed  bool
+}
+
+// Subscribe attaches a callback to a topic. queueSize bounds the
+// in-flight messages; when the queue is full the oldest message is
+// dropped (counted in Dropped), as in ROS. The callback runs on a
+// dedicated goroutine; it must not block indefinitely.
+func (n *Node) Subscribe(topic string, queueSize int, cb func(Message)) (*Subscriber, error) {
+	if cb == nil {
+		return nil, fmt.Errorf("graph: nil callback")
+	}
+	if queueSize <= 0 {
+		queueSize = 16
+	}
+	b, err := n.g.topicBus(topic, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{
+		node:  n,
+		bus:   b,
+		queue: make(chan Message, queueSize),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case m, ok := <-s.queue:
+				if !ok {
+					return
+				}
+				cb(m)
+			case <-s.done:
+				// Drain what is already queued, then exit.
+				for {
+					select {
+					case m := <-s.queue:
+						cb(m)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	latched := b.latched
+	b.mu.Unlock()
+	if latched != nil {
+		s.offer(*latched)
+	}
+	return s, nil
+}
+
+// offer enqueues a message, dropping the oldest on overflow.
+func (s *Subscriber) offer(m Message) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	for {
+		select {
+		case s.queue <- m:
+			return
+		default:
+		}
+		// Queue full: drop the oldest and retry.
+		select {
+		case <-s.queue:
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+		default:
+		}
+	}
+}
+
+// Dropped returns how many messages overflowed the queue.
+func (s *Subscriber) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscriber, drains queued messages, and waits for
+// the callback goroutine to finish.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	for i, sub := range s.bus.subs {
+		if sub == s {
+			s.bus.subs = append(s.bus.subs[:i], s.bus.subs[i+1:]...)
+			break
+		}
+	}
+	s.bus.mu.Unlock()
+	s.close()
+}
+
+func (s *Subscriber) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+}

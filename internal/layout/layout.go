@@ -1,0 +1,270 @@
+// Package layout models paper-scale bags without materializing their
+// bytes. A Bag describes the exact structure a rosbag recording of the
+// given topic mix would have — chunk boundaries, per-chunk per-topic
+// message counts, index record sizes, time extents — so the access-path
+// simulators in internal/pathsim can replay baseline and BORA op
+// sequences for 21 GB and 42 GB bags (Figs 10-18) in memory.
+package layout
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TopicSpec describes one topic's steady-state stream.
+type TopicSpec struct {
+	Name    string
+	Type    string
+	RateHz  float64 // message arrival rate
+	MsgSize int64   // serialized payload bytes per message
+}
+
+// Validate reports malformed specs.
+func (s *TopicSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("layout: topic with empty name")
+	}
+	if s.RateHz <= 0 {
+		return fmt.Errorf("layout: topic %s has non-positive rate", s.Name)
+	}
+	if s.MsgSize <= 0 {
+		return fmt.Errorf("layout: topic %s has non-positive message size", s.Name)
+	}
+	return nil
+}
+
+// Topic is one topic's realized layout in a bag.
+type Topic struct {
+	Spec  TopicSpec
+	Count int   // messages recorded
+	Bytes int64 // total payload bytes
+}
+
+// Chunk is one chunk record's shape.
+type Chunk struct {
+	StartNs int64   // earliest message time (ns from bag start)
+	EndNs   int64   // latest message time
+	Bytes   int64   // chunk payload bytes (uncompressed)
+	Counts  []int32 // per-topic message counts, indexed like Bag.Topics
+}
+
+// MessageCount returns the chunk's total message count.
+func (c *Chunk) MessageCount() int {
+	n := 0
+	for _, v := range c.Counts {
+		n += int(v)
+	}
+	return n
+}
+
+// Bag is the realized layout of one recorded bag.
+type Bag struct {
+	Topics         []Topic
+	Chunks         []Chunk
+	DurationNs     int64
+	TotalBytes     int64 // sum of message payload bytes
+	ChunkThreshold int64
+}
+
+// recordOverhead approximates the bag-record framing per message (record
+// header fields + length prefixes).
+const recordOverhead = 57
+
+// IndexRecordHeaderBytes approximates one index-data record's header.
+const IndexRecordHeaderBytes = 45
+
+// IndexEntryBytes is the wire size of one index entry (time + offset).
+const IndexEntryBytes = 12
+
+// ChunkInfoBytes approximates one chunk-info record (header + one
+// count pair per topic present).
+func ChunkInfoBytes(topicsPresent int) int64 { return 70 + 8*int64(topicsPresent) }
+
+// topicCursor is a heap node tracking the next arrival of one topic.
+type topicCursor struct {
+	topic  int
+	nextNs int64
+	stepNs int64
+}
+
+type cursorHeap []*topicCursor
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].nextNs < h[j].nextNs }
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*topicCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Generate lays out a bag of approximately targetBytes of payload from
+// the given topic mix, chunked at chunkThreshold (the rosbag default when
+// zero). Message arrivals are deterministic fixed-rate streams merged in
+// time order, matching a steady sensor rig.
+func Generate(specs []TopicSpec, targetBytes int64, chunkThreshold int64) (*Bag, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("layout: no topics")
+	}
+	if targetBytes <= 0 {
+		return nil, fmt.Errorf("layout: non-positive target size %d", targetBytes)
+	}
+	if chunkThreshold <= 0 {
+		chunkThreshold = 768 * 1024
+	}
+	var bytesPerSec float64
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+		bytesPerSec += specs[i].RateHz * float64(specs[i].MsgSize)
+	}
+	durationNs := int64(float64(targetBytes) / bytesPerSec * 1e9)
+	if durationNs <= 0 {
+		return nil, fmt.Errorf("layout: target %d bytes too small for topic mix (%.0f B/s)", targetBytes, bytesPerSec)
+	}
+
+	bag := &Bag{
+		Topics:         make([]Topic, len(specs)),
+		DurationNs:     durationNs,
+		ChunkThreshold: chunkThreshold,
+	}
+	h := make(cursorHeap, 0, len(specs))
+	for i, s := range specs {
+		bag.Topics[i] = Topic{Spec: s}
+		step := int64(1e9 / s.RateHz)
+		if step <= 0 {
+			step = 1
+		}
+		// Phase-offset streams slightly so topics interleave rather than
+		// tie on identical timestamps.
+		heap.Push(&h, &topicCursor{topic: i, nextNs: int64(i+1) * 1_000, stepNs: step})
+	}
+
+	var cur Chunk
+	cur.Counts = make([]int32, len(specs))
+	cur.StartNs = -1
+	flush := func() {
+		if cur.MessageCount() == 0 {
+			return
+		}
+		bag.Chunks = append(bag.Chunks, cur)
+		cur = Chunk{StartNs: -1, Counts: make([]int32, len(specs))}
+	}
+	for h.Len() > 0 {
+		cursor := h[0]
+		if cursor.nextNs >= durationNs {
+			heap.Pop(&h)
+			continue
+		}
+		t := &bag.Topics[cursor.topic]
+		t.Count++
+		t.Bytes += t.Spec.MsgSize
+		bag.TotalBytes += t.Spec.MsgSize
+
+		if cur.StartNs < 0 {
+			cur.StartNs = cursor.nextNs
+		}
+		cur.EndNs = cursor.nextNs
+		cur.Bytes += t.Spec.MsgSize + recordOverhead
+		cur.Counts[cursor.topic]++
+		if cur.Bytes >= chunkThreshold {
+			flush()
+		}
+
+		cursor.nextNs += cursor.stepNs
+		heap.Fix(&h, 0)
+	}
+	flush()
+	if len(bag.Chunks) == 0 {
+		return nil, fmt.Errorf("layout: generated no chunks (target %d bytes)", targetBytes)
+	}
+	return bag, nil
+}
+
+// TopicIndex returns the position of a topic by name, or -1.
+func (b *Bag) TopicIndex(name string) int {
+	for i := range b.Topics {
+		if b.Topics[i].Spec.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MessageCount returns the total number of messages in the bag.
+func (b *Bag) MessageCount() int {
+	n := 0
+	for i := range b.Topics {
+		n += b.Topics[i].Count
+	}
+	return n
+}
+
+// IndexSectionBytes returns the byte size of the bag's tail index
+// section (connection records + chunk-info records), which the baseline
+// open traverses in full.
+func (b *Bag) IndexSectionBytes() int64 {
+	var n int64
+	for range b.Topics {
+		n += 256 // connection record with type/md5/definition
+	}
+	for i := range b.Chunks {
+		present := 0
+		for _, c := range b.Chunks[i].Counts {
+			if c > 0 {
+				present++
+			}
+		}
+		n += ChunkInfoBytes(present)
+	}
+	return n
+}
+
+// ChunkIndexBytes returns the byte size of the index-data records that
+// trail one chunk.
+func (b *Bag) ChunkIndexBytes(chunk int) int64 {
+	var n int64
+	for _, c := range b.Chunks[chunk].Counts {
+		if c > 0 {
+			n += IndexRecordHeaderBytes + IndexEntryBytes*int64(c)
+		}
+	}
+	return n
+}
+
+// FileBytes approximates the full on-disk bag size (payload + framing +
+// interleaved index records + tail index section).
+func (b *Bag) FileBytes() int64 {
+	var n int64 = 13 + 4096 // magic + bag header
+	for i := range b.Chunks {
+		n += b.Chunks[i].Bytes + 80 // chunk record framing
+		n += b.ChunkIndexBytes(i)
+	}
+	return n + b.IndexSectionBytes()
+}
+
+// ChunksOverlapping returns the inclusive chunk index range whose time
+// extents overlap [startNs, endNs], or ok=false when none do. Chunks are
+// generated in time order, so a binary scan suffices; linear is fine for
+// clarity given chunk counts up to ~60k.
+func (b *Bag) ChunksOverlapping(startNs, endNs int64) (first, last int, ok bool) {
+	first = -1
+	for i := range b.Chunks {
+		c := &b.Chunks[i]
+		if c.EndNs < startNs || c.StartNs > endNs {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	if first < 0 {
+		return 0, 0, false
+	}
+	return first, last, true
+}

@@ -1,0 +1,192 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleSpecs() []TopicSpec {
+	return []TopicSpec{
+		{Name: "/img", Type: "sensor_msgs/Image", RateHz: 30, MsgSize: 1_000_000},
+		{Name: "/imu", Type: "sensor_msgs/Imu", RateHz: 500, MsgSize: 350},
+		{Name: "/tf", Type: "tf2_msgs/TFMessage", RateHz: 340, MsgSize: 220},
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 300_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bag.Chunks) == 0 {
+		t.Fatal("no chunks")
+	}
+	// Total payload bytes should land near the target.
+	ratio := float64(bag.TotalBytes) / 300_000_000
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("TotalBytes = %d, %.2f of target", bag.TotalBytes, ratio)
+	}
+	// Per-topic byte shares follow the rate×size mix.
+	img := bag.Topics[bag.TopicIndex("/img")]
+	if float64(img.Bytes)/float64(bag.TotalBytes) < 0.98 {
+		t.Errorf("image share = %.3f, want ≈0.994", float64(img.Bytes)/float64(bag.TotalBytes))
+	}
+	// Chunk payload sizes hover at the threshold.
+	for i, c := range bag.Chunks[:len(bag.Chunks)-1] {
+		if c.Bytes < bag.ChunkThreshold/2 || c.Bytes > bag.ChunkThreshold*3 {
+			t.Errorf("chunk %d payload %d far from threshold %d", i, c.Bytes, bag.ChunkThreshold)
+			break
+		}
+	}
+	if bag.FileBytes() <= bag.TotalBytes {
+		t.Error("FileBytes must exceed payload bytes (framing + index)")
+	}
+}
+
+func TestGenerateCountsConsistent(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 100_000_000, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk counts must sum to topic counts.
+	sums := make([]int, len(bag.Topics))
+	for _, c := range bag.Chunks {
+		for ti, n := range c.Counts {
+			sums[ti] += int(n)
+		}
+	}
+	total := 0
+	for i := range bag.Topics {
+		if sums[i] != bag.Topics[i].Count {
+			t.Errorf("topic %d: chunk sum %d != count %d", i, sums[i], bag.Topics[i].Count)
+		}
+		total += bag.Topics[i].Count
+	}
+	if bag.MessageCount() != total {
+		t.Errorf("MessageCount = %d, want %d", bag.MessageCount(), total)
+	}
+	// Message counts follow the rates: imu ≈ 500/30 × img.
+	img := bag.Topics[bag.TopicIndex("/img")].Count
+	imu := bag.Topics[bag.TopicIndex("/imu")].Count
+	r := float64(imu) / float64(img)
+	if r < 15 || r > 18.5 {
+		t.Errorf("imu/img count ratio = %.1f, want ≈16.7", r)
+	}
+}
+
+func TestChunksChronological(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 50_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(bag.Chunks); i++ {
+		if bag.Chunks[i].StartNs < bag.Chunks[i-1].StartNs {
+			t.Fatalf("chunk %d starts before its predecessor", i)
+		}
+		if bag.Chunks[i-1].EndNs < bag.Chunks[i-1].StartNs {
+			t.Fatalf("chunk %d has end before start", i-1)
+		}
+	}
+	last := bag.Chunks[len(bag.Chunks)-1]
+	if last.EndNs > bag.DurationNs {
+		t.Errorf("last chunk ends at %d, beyond duration %d", last.EndNs, bag.DurationNs)
+	}
+}
+
+func TestChunksOverlapping(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 50_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, ok := bag.ChunksOverlapping(0, bag.DurationNs)
+	if !ok || first != 0 || last != len(bag.Chunks)-1 {
+		t.Errorf("full range = [%d,%d] ok=%v", first, last, ok)
+	}
+	mid := bag.DurationNs / 2
+	f2, l2, ok := bag.ChunksOverlapping(mid, mid+bag.DurationNs/10)
+	if !ok {
+		t.Fatal("mid-range overlap not found")
+	}
+	if f2 == 0 && l2 == len(bag.Chunks)-1 {
+		t.Error("narrow range did not restrict the chunk set")
+	}
+	if _, _, ok := bag.ChunksOverlapping(bag.DurationNs*2, bag.DurationNs*3); ok {
+		t.Error("range beyond bag matched chunks")
+	}
+}
+
+func TestIndexByteAccounting(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 50_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag.IndexSectionBytes() <= 0 {
+		t.Error("index section empty")
+	}
+	var total int64
+	for i := range bag.Chunks {
+		b := bag.ChunkIndexBytes(i)
+		if b <= 0 {
+			t.Fatalf("chunk %d index bytes = %d", i, b)
+		}
+		total += b
+	}
+	// Index entries are 12 bytes each: totals must cover all messages.
+	if total < int64(bag.MessageCount())*IndexEntryBytes {
+		t.Errorf("chunk index bytes %d < entries %d", total, bag.MessageCount()*IndexEntryBytes)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, 1e6, 0); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := Generate(sampleSpecs(), 0, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := Generate([]TopicSpec{{Name: "", RateHz: 1, MsgSize: 1}}, 1e6, 0); err == nil {
+		t.Error("unnamed topic accepted")
+	}
+	if _, err := Generate([]TopicSpec{{Name: "/x", RateHz: 0, MsgSize: 1}}, 1e6, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Generate([]TopicSpec{{Name: "/x", RateHz: 1, MsgSize: 0}}, 1e6, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if bag, err := Generate([]TopicSpec{{Name: "/x", RateHz: 1e9, MsgSize: 1}}, 1, 0); err == nil && bag.MessageCount() == 0 {
+		t.Error("degenerate bag with no messages accepted")
+	}
+}
+
+func TestTopicIndex(t *testing.T) {
+	bag, err := Generate(sampleSpecs(), 10_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag.TopicIndex("/imu") < 0 {
+		t.Error("known topic not found")
+	}
+	if bag.TopicIndex("/nope") != -1 {
+		t.Error("unknown topic found")
+	}
+}
+
+// Property: doubling the target roughly doubles messages and duration.
+func TestScalingQuick(t *testing.T) {
+	f := func(seed uint8) bool {
+		base := int64(20_000_000) + int64(seed)*100_000
+		a, err := Generate(sampleSpecs(), base, 0)
+		if err != nil {
+			return false
+		}
+		b, err := Generate(sampleSpecs(), base*2, 0)
+		if err != nil {
+			return false
+		}
+		r := float64(b.MessageCount()) / float64(a.MessageCount())
+		return r > 1.8 && r < 2.2 && b.DurationNs > a.DurationNs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

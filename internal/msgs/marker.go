@@ -1,0 +1,165 @@
+package msgs
+
+// Marker action and type constants from visualization_msgs/Marker.
+const (
+	MarkerArrow    int32 = 0
+	MarkerCube     int32 = 1
+	MarkerSphere   int32 = 2
+	MarkerCylinder int32 = 3
+
+	MarkerActionAdd    int32 = 0
+	MarkerActionModify int32 = 0
+	MarkerActionDelete int32 = 2
+)
+
+// Marker is visualization_msgs/Marker: one primitive shape (topic E of
+// Table II, "/cortex_marker_array").
+type Marker struct {
+	Header     Header
+	Namespace  string
+	ID         int32
+	Type       int32
+	Action     int32
+	Pose       Pose
+	Scale      Vector3
+	Color      ColorRGBA
+	Lifetime   Duration
+	FrameLock  bool
+	Points     []Point
+	Colors     []ColorRGBA
+	Text       string
+	MeshRes    string
+	MeshUseMat bool
+}
+
+// TypeName implements Message.
+func (m *Marker) TypeName() string { return "visualization_msgs/Marker" }
+
+func (m *Marker) marshal(w *Writer) {
+	m.Header.marshal(w)
+	w.String(m.Namespace)
+	w.I32(m.ID)
+	w.I32(m.Type)
+	w.I32(m.Action)
+	m.Pose.marshal(w)
+	m.Scale.marshal(w)
+	m.Color.marshal(w)
+	m.Lifetime.marshal(w)
+	w.Bool(m.FrameLock)
+	w.U32(uint32(len(m.Points)))
+	for i := range m.Points {
+		m.Points[i].marshal(w)
+	}
+	w.U32(uint32(len(m.Colors)))
+	for i := range m.Colors {
+		m.Colors[i].marshal(w)
+	}
+	w.String(m.Text)
+	w.String(m.MeshRes)
+	w.Bool(m.MeshUseMat)
+}
+
+// Marshal implements Message.
+func (m *Marker) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	m.marshal(w)
+	return w.Bytes()
+}
+
+func (m *Marker) unmarshal(r *Reader) {
+	m.Header.unmarshal(r)
+	m.Namespace = r.String()
+	m.ID = r.I32()
+	m.Type = r.I32()
+	m.Action = r.I32()
+	m.Pose.unmarshal(r)
+	m.Scale.unmarshal(r)
+	m.Color.unmarshal(r)
+	m.Lifetime.unmarshal(r)
+	m.FrameLock = r.Bool()
+	np := r.U32()
+	if r.Err() != nil {
+		return
+	}
+	if np > 0 {
+		m.Points = make([]Point, 0, minInt(int(np), 1024))
+	} else {
+		m.Points = nil
+	}
+	for i := uint32(0); i < np; i++ {
+		var p Point
+		p.unmarshal(r)
+		if r.Err() != nil {
+			return
+		}
+		m.Points = append(m.Points, p)
+	}
+	nc := r.U32()
+	if r.Err() != nil {
+		return
+	}
+	if nc > 0 {
+		m.Colors = make([]ColorRGBA, 0, minInt(int(nc), 1024))
+	} else {
+		m.Colors = nil
+	}
+	for i := uint32(0); i < nc; i++ {
+		var c ColorRGBA
+		c.unmarshal(r)
+		if r.Err() != nil {
+			return
+		}
+		m.Colors = append(m.Colors, c)
+	}
+	m.Text = r.String()
+	m.MeshRes = r.String()
+	m.MeshUseMat = r.Bool()
+}
+
+// Unmarshal implements Message.
+func (m *Marker) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	m.unmarshal(r)
+	return r.Finish()
+}
+
+// MarkerArray is visualization_msgs/MarkerArray.
+type MarkerArray struct {
+	Markers []Marker
+}
+
+// TypeName implements Message.
+func (m *MarkerArray) TypeName() string { return "visualization_msgs/MarkerArray" }
+
+// Marshal implements Message.
+func (m *MarkerArray) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	w.U32(uint32(len(m.Markers)))
+	for i := range m.Markers {
+		m.Markers[i].marshal(w)
+	}
+	return w.Bytes()
+}
+
+// Unmarshal implements Message.
+func (m *MarkerArray) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		m.Markers = nil
+		return r.Finish()
+	}
+	m.Markers = make([]Marker, 0, minInt(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		var mk Marker
+		mk.unmarshal(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		m.Markers = append(m.Markers, mk)
+	}
+	return r.Finish()
+}

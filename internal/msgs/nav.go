@@ -1,0 +1,153 @@
+package msgs
+
+import "errors"
+
+// errTruncatedArray guards array length claims against truncated input.
+var errTruncatedArray = errors.New("msgs: array length exceeds remaining bytes")
+
+// PoseStamped is geometry_msgs/PoseStamped.
+type PoseStamped struct {
+	Header Header
+	Pose   Pose
+}
+
+// TypeName implements Message.
+func (m *PoseStamped) TypeName() string { return "geometry_msgs/PoseStamped" }
+
+// Marshal implements Message.
+func (m *PoseStamped) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	m.Header.marshal(w)
+	m.Pose.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal implements Message.
+func (m *PoseStamped) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	m.Header.unmarshal(r)
+	m.Pose.unmarshal(r)
+	return r.Finish()
+}
+
+// PoseWithCovariance is geometry_msgs/PoseWithCovariance.
+type PoseWithCovariance struct {
+	Pose       Pose
+	Covariance [36]float64
+}
+
+func (p *PoseWithCovariance) marshal(w *Writer) {
+	p.Pose.marshal(w)
+	w.F64Fixed(p.Covariance[:])
+}
+
+func (p *PoseWithCovariance) unmarshal(r *Reader) {
+	p.Pose.unmarshal(r)
+	copy(p.Covariance[:], r.F64Fixed(36))
+}
+
+// TwistWithCovariance is geometry_msgs/TwistWithCovariance.
+type TwistWithCovariance struct {
+	Linear     Vector3
+	Angular    Vector3
+	Covariance [36]float64
+}
+
+func (t *TwistWithCovariance) marshal(w *Writer) {
+	t.Linear.marshal(w)
+	t.Angular.marshal(w)
+	w.F64Fixed(t.Covariance[:])
+}
+
+func (t *TwistWithCovariance) unmarshal(r *Reader) {
+	t.Linear.unmarshal(r)
+	t.Angular.unmarshal(r)
+	copy(t.Covariance[:], r.F64Fixed(36))
+}
+
+// Odometry is nav_msgs/Odometry: pose + twist estimates.
+type Odometry struct {
+	Header       Header
+	ChildFrameID string
+	Pose         PoseWithCovariance
+	Twist        TwistWithCovariance
+}
+
+// TypeName implements Message.
+func (m *Odometry) TypeName() string { return "nav_msgs/Odometry" }
+
+// Marshal implements Message.
+func (m *Odometry) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	m.Header.marshal(w)
+	w.String(m.ChildFrameID)
+	m.Pose.marshal(w)
+	m.Twist.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal implements Message.
+func (m *Odometry) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	m.Header.unmarshal(r)
+	m.ChildFrameID = r.String()
+	m.Pose.unmarshal(r)
+	m.Twist.unmarshal(r)
+	return r.Finish()
+}
+
+// Path is nav_msgs/Path: a trajectory of stamped poses.
+type Path struct {
+	Header Header
+	Poses  []PoseStamped
+}
+
+// TypeName implements Message.
+func (m *Path) TypeName() string { return "nav_msgs/Path" }
+
+// Marshal implements Message.
+func (m *Path) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	m.Header.marshal(w)
+	w.U32(uint32(len(m.Poses)))
+	for i := range m.Poses {
+		m.Poses[i].Header.marshal(w)
+		m.Poses[i].Pose.marshal(w)
+	}
+	return w.Bytes()
+}
+
+// Unmarshal implements Message.
+func (m *Path) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	m.Header.unmarshal(r)
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		m.Poses = nil
+		return r.Finish()
+	}
+	if int(n)*12 > r.Remaining() { // header alone needs ≥12 bytes
+		return errTruncatedArray
+	}
+	m.Poses = make([]PoseStamped, n)
+	for i := range m.Poses {
+		m.Poses[i].Header.unmarshal(r)
+		m.Poses[i].Pose.unmarshal(r)
+	}
+	return r.Finish()
+}
+
+func init() {
+	Register("sensor_msgs/LaserScan", func() Message { return &LaserScan{} })
+	Register("sensor_msgs/NavSatFix", func() Message { return &NavSatFix{} })
+	Register("sensor_msgs/FluidPressure", func() Message { return &FluidPressure{} })
+	Register("sensor_msgs/JointState", func() Message { return &JointState{} })
+	Register("sensor_msgs/CompressedImage", func() Message { return &CompressedImage{} })
+	Register("sensor_msgs/PointCloud2", func() Message { return &PointCloud2{} })
+	Register("geometry_msgs/PoseStamped", func() Message { return &PoseStamped{} })
+	Register("nav_msgs/Odometry", func() Message { return &Odometry{} })
+	Register("nav_msgs/Path", func() Message { return &Path{} })
+}

@@ -1,0 +1,96 @@
+package msgs
+
+import "repro/internal/bagio"
+
+// Header is std_msgs/Header: sequence id, timestamp and coordinate frame.
+type Header struct {
+	Seq     uint32
+	Stamp   bagio.Time
+	FrameID string
+}
+
+func (h *Header) marshal(w *Writer) {
+	w.U32(h.Seq)
+	w.Time(h.Stamp)
+	w.String(h.FrameID)
+}
+
+func (h *Header) unmarshal(r *Reader) {
+	h.Seq = r.U32()
+	h.Stamp = r.Time()
+	h.FrameID = r.String()
+}
+
+// Vector3 is geometry_msgs/Vector3.
+type Vector3 struct{ X, Y, Z float64 }
+
+func (v *Vector3) marshal(w *Writer) { w.F64(v.X); w.F64(v.Y); w.F64(v.Z) }
+func (v *Vector3) unmarshal(r *Reader) {
+	v.X = r.F64()
+	v.Y = r.F64()
+	v.Z = r.F64()
+}
+
+// Point is geometry_msgs/Point. It has the same wire form as Vector3.
+type Point = Vector3
+
+// Quaternion is geometry_msgs/Quaternion.
+type Quaternion struct{ X, Y, Z, W float64 }
+
+func (q *Quaternion) marshal(w *Writer) { w.F64(q.X); w.F64(q.Y); w.F64(q.Z); w.F64(q.W) }
+func (q *Quaternion) unmarshal(r *Reader) {
+	q.X = r.F64()
+	q.Y = r.F64()
+	q.Z = r.F64()
+	q.W = r.F64()
+}
+
+// Identity returns the identity rotation.
+func Identity() Quaternion { return Quaternion{W: 1} }
+
+// Pose is geometry_msgs/Pose.
+type Pose struct {
+	Position    Point
+	Orientation Quaternion
+}
+
+func (p *Pose) marshal(w *Writer) { p.Position.marshal(w); p.Orientation.marshal(w) }
+func (p *Pose) unmarshal(r *Reader) {
+	p.Position.unmarshal(r)
+	p.Orientation.unmarshal(r)
+}
+
+// Transform is geometry_msgs/Transform.
+type Transform struct {
+	Translation Vector3
+	Rotation    Quaternion
+}
+
+func (t *Transform) marshal(w *Writer) { t.Translation.marshal(w); t.Rotation.marshal(w) }
+func (t *Transform) unmarshal(r *Reader) {
+	t.Translation.unmarshal(r)
+	t.Rotation.unmarshal(r)
+}
+
+// ColorRGBA is std_msgs/ColorRGBA.
+type ColorRGBA struct{ R, G, B, A float32 }
+
+func (c *ColorRGBA) marshal(w *Writer) { w.F32(c.R); w.F32(c.G); w.F32(c.B); w.F32(c.A) }
+func (c *ColorRGBA) unmarshal(r *Reader) {
+	c.R = r.F32()
+	c.G = r.F32()
+	c.B = r.F32()
+	c.A = r.F32()
+}
+
+// Duration is a ROS duration (i32 sec, i32 nsec).
+type Duration struct {
+	Sec  int32
+	NSec int32
+}
+
+func (d *Duration) marshal(w *Writer) { w.I32(d.Sec); w.I32(d.NSec) }
+func (d *Duration) unmarshal(r *Reader) {
+	d.Sec = r.I32()
+	d.NSec = r.I32()
+}

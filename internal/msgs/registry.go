@@ -1,0 +1,70 @@
+package msgs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps ROS type names to factories, letting bag consumers
+// instantiate concrete messages from connection metadata.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Message{}
+)
+
+// Register associates a type name with a factory. It panics on duplicate
+// registration, which indicates a programming error.
+func Register(typeName string, factory func() Message) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[typeName]; dup {
+		panic(fmt.Sprintf("msgs: duplicate registration of %q", typeName))
+	}
+	registry[typeName] = factory
+}
+
+// New instantiates an empty message of the given registered type.
+func New(typeName string) (Message, error) {
+	regMu.RLock()
+	factory, ok := registry[typeName]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("msgs: unknown message type %q", typeName)
+	}
+	return factory(), nil
+}
+
+// Decode instantiates and unmarshals a message of the given type.
+func Decode(typeName string, wire []byte) (Message, error) {
+	m, err := New(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Unmarshal(wire); err != nil {
+		return nil, fmt.Errorf("msgs: decode %s: %w", typeName, err)
+	}
+	return m, nil
+}
+
+// RegisteredTypes returns the sorted list of known type names.
+func RegisteredTypes() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("sensor_msgs/Image", func() Message { return &Image{} })
+	Register("sensor_msgs/CameraInfo", func() Message { return &CameraInfo{} })
+	Register("sensor_msgs/Imu", func() Message { return &Imu{} })
+	Register("geometry_msgs/TransformStamped", func() Message { return &TransformStamped{} })
+	Register("tf2_msgs/TFMessage", func() Message { return &TFMessage{} })
+	Register("visualization_msgs/Marker", func() Message { return &Marker{} })
+	Register("visualization_msgs/MarkerArray", func() Message { return &MarkerArray{} })
+}

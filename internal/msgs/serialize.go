@@ -1,0 +1,238 @@
+// Package msgs implements the ROS message types used by the BORA
+// evaluation workloads (Table II of the paper) together with the ROS
+// little-endian wire serialization: sensor_msgs/Image, CameraInfo and
+// Imu, tf2_msgs/TFMessage, visualization_msgs/MarkerArray, and the
+// std_msgs/geometry_msgs primitives they are built from.
+package msgs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bagio"
+)
+
+// Message is a ROS message that can serialize itself with the ROS wire
+// encoding (little-endian scalars, u32-length-prefixed strings/arrays).
+type Message interface {
+	// TypeName returns the ROS type, e.g. "sensor_msgs/Imu".
+	TypeName() string
+	// Marshal appends the wire encoding to dst and returns the result.
+	Marshal(dst []byte) []byte
+	// Unmarshal parses the wire encoding; the message must not retain b.
+	Unmarshal(b []byte) error
+}
+
+// Writer appends ROS wire-encoded values to a byte slice.
+type Writer struct{ buf []byte }
+
+// NewWriter starts a writer that appends to dst (which may be nil).
+func NewWriter(dst []byte) *Writer { return &Writer{buf: dst} }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a ROS bool (one byte, 0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// I32 appends a little-endian int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// F32 appends an IEEE-754 float32.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// F64 appends an IEEE-754 float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a u32-length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// ByteArray appends a u32-length-prefixed byte array.
+func (w *Writer) ByteArray(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Time appends a ROS time (u32 sec, u32 nsec).
+func (w *Writer) Time(t bagio.Time) {
+	w.U32(t.Sec)
+	w.U32(t.NSec)
+}
+
+// F64Fixed appends a fixed-length float64 array (no length prefix).
+func (w *Writer) F64Fixed(vs []float64) {
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// F64Array appends a u32-length-prefixed float64 array.
+func (w *Writer) F64Array(vs []float64) {
+	w.U32(uint32(len(vs)))
+	w.F64Fixed(vs)
+}
+
+// Reader consumes ROS wire-encoded values from a byte slice.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader starts a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain unconsumed.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("msgs: %d trailing bytes after message", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("msgs: truncated message: need %d bytes at offset %d of %d", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a ROS bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F32 reads an IEEE-754 float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a u32-length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if int(n) > r.Remaining() {
+		r.err = fmt.Errorf("msgs: string length %d exceeds remaining %d bytes", n, r.Remaining())
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// ByteArray reads a u32-length-prefixed byte array, copying the bytes.
+func (r *Reader) ByteArray() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > r.Remaining() {
+		r.err = fmt.Errorf("msgs: byte array length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil
+	}
+	src := r.take(int(n))
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// Time reads a ROS time.
+func (r *Reader) Time() bagio.Time {
+	return bagio.Time{Sec: r.U32(), NSec: r.U32()}
+}
+
+// F64Fixed reads n float64 values (no length prefix).
+func (r *Reader) F64Fixed(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// F64Array reads a u32-length-prefixed float64 array.
+func (r *Reader) F64Array() []float64 {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n)*8 > r.Remaining() {
+		r.err = fmt.Errorf("msgs: float64 array length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil
+	}
+	return r.F64Fixed(int(n))
+}

@@ -1,0 +1,88 @@
+package msgs
+
+// TransformStamped is geometry_msgs/TransformStamped: one timestamped
+// coordinate transform between two frames.
+type TransformStamped struct {
+	Header       Header
+	ChildFrameID string
+	Transform    Transform
+}
+
+// TypeName implements Message.
+func (m *TransformStamped) TypeName() string { return "geometry_msgs/TransformStamped" }
+
+// Marshal implements Message.
+func (m *TransformStamped) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	m.marshal(w)
+	return w.Bytes()
+}
+
+func (m *TransformStamped) marshal(w *Writer) {
+	m.Header.marshal(w)
+	w.String(m.ChildFrameID)
+	m.Transform.marshal(w)
+}
+
+// Unmarshal implements Message.
+func (m *TransformStamped) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	m.unmarshal(r)
+	return r.Finish()
+}
+
+func (m *TransformStamped) unmarshal(r *Reader) {
+	m.Header.unmarshal(r)
+	m.ChildFrameID = r.String()
+	m.Transform.unmarshal(r)
+}
+
+// TFMessage is tf2_msgs/TFMessage: the batched transform stream published
+// on /tf (topic G of Table II). This is the message type used in the
+// paper's Fig 2 insertion experiment (49,233 TF messages).
+type TFMessage struct {
+	Transforms []TransformStamped
+}
+
+// TypeName implements Message.
+func (m *TFMessage) TypeName() string { return "tf2_msgs/TFMessage" }
+
+// Marshal implements Message.
+func (m *TFMessage) Marshal(dst []byte) []byte {
+	w := NewWriter(dst)
+	w.U32(uint32(len(m.Transforms)))
+	for i := range m.Transforms {
+		m.Transforms[i].marshal(w)
+	}
+	return w.Bytes()
+}
+
+// Unmarshal implements Message.
+func (m *TFMessage) Unmarshal(b []byte) error {
+	r := NewReader(b)
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		m.Transforms = nil
+		return r.Finish()
+	}
+	m.Transforms = make([]TransformStamped, 0, minInt(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		var ts TransformStamped
+		ts.unmarshal(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		m.Transforms = append(m.Transforms, ts)
+	}
+	return r.Finish()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

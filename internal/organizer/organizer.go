@@ -1,0 +1,181 @@
+// Package organizer implements BORA's data organizer (Fig 6 of the
+// paper): during a one-time bag duplication, one scanner goroutine reads
+// the source bag sequentially while a pool of worker goroutines
+// distributes messages to their per-topic sinks on the underlying file
+// system ("BORA uses one thread to scan the file and a few other threads
+// to distribute messages"). Topics are sharded across workers by hash so
+// each topic's messages stay in order.
+package organizer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bagio"
+)
+
+// TopicSink receives one topic's messages in order. Implementations are
+// only ever called from a single worker goroutine.
+type TopicSink interface {
+	Append(t bagio.Time, payload []byte) error
+	Close() error
+}
+
+// Options tune the distribution pipeline.
+type Options struct {
+	// Workers is the number of distribution goroutines. Zero selects
+	// "determined by system specs": GOMAXPROCS-1, at least 1.
+	Workers int
+	// QueueDepth is the per-worker channel depth. Zero selects 64.
+	QueueDepth int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) - 1
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+}
+
+// Stats summarizes a distribution run.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	Topics   int
+	PerTopic map[string]int64
+}
+
+type workItem struct {
+	sink    TopicSink
+	time    bagio.Time
+	payload []byte
+}
+
+// Distributor fans messages out to per-topic sinks over a worker pool.
+type Distributor struct {
+	opts    Options
+	create  func(conn *bagio.Connection) (TopicSink, error)
+	sinks   map[string]TopicSink
+	workers []chan workItem
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+	stats   Stats
+	closed  bool
+}
+
+// New starts a distributor whose sinks are created on demand by create
+// (called from the scanner goroutine, never concurrently).
+func New(create func(conn *bagio.Connection) (TopicSink, error), opts Options) *Distributor {
+	opts.fill()
+	d := &Distributor{
+		opts:   opts,
+		create: create,
+		sinks:  map[string]TopicSink{},
+	}
+	d.stats.PerTopic = map[string]int64{}
+	d.workers = make([]chan workItem, opts.Workers)
+	for i := range d.workers {
+		ch := make(chan workItem, opts.QueueDepth)
+		d.workers[i] = ch
+		d.wg.Add(1)
+		go d.runWorker(ch)
+	}
+	return d
+}
+
+func (d *Distributor) runWorker(ch <-chan workItem) {
+	defer d.wg.Done()
+	for item := range ch {
+		if d.failed() {
+			continue // drain
+		}
+		if err := item.sink.Append(item.time, item.payload); err != nil {
+			d.fail(err)
+		}
+	}
+}
+
+func (d *Distributor) fail(err error) {
+	d.errMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+}
+
+func (d *Distributor) failed() bool {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err != nil
+}
+
+func topicHash(topic string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Dispatch routes one message to its topic's worker. The payload is
+// copied, so the caller may reuse its buffer. Dispatch is intended to be
+// called from a single scanner goroutine.
+func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []byte) error {
+	if d.closed {
+		return fmt.Errorf("organizer: distributor is closed")
+	}
+	if err := d.firstErr(); err != nil {
+		return err
+	}
+	sink, ok := d.sinks[conn.Topic]
+	if !ok {
+		var err error
+		sink, err = d.create(conn)
+		if err != nil {
+			d.fail(err)
+			return err
+		}
+		d.sinks[conn.Topic] = sink
+		d.stats.Topics++
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	d.workers[topicHash(conn.Topic)%uint32(len(d.workers))] <- workItem{sink: sink, time: t, payload: buf}
+	d.stats.Messages++
+	d.stats.Bytes += int64(len(payload))
+	d.stats.PerTopic[conn.Topic]++
+	return nil
+}
+
+func (d *Distributor) firstErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err
+}
+
+// Close drains the pipeline, closes every sink, and returns the first
+// error encountered anywhere in the run together with the run's stats.
+func (d *Distributor) Close() (Stats, error) {
+	if d.closed {
+		return d.stats, fmt.Errorf("organizer: distributor already closed")
+	}
+	d.closed = true
+	for _, ch := range d.workers {
+		close(ch)
+	}
+	d.wg.Wait()
+	for topic, sink := range d.sinks {
+		if err := sink.Close(); err != nil && d.err == nil {
+			d.err = fmt.Errorf("organizer: close sink for %q: %w", topic, err)
+		}
+	}
+	return d.stats, d.err
+}

@@ -1,0 +1,151 @@
+// Package replay implements the message-replay side of the bag
+// mechanism — the paper's "offline use in data replaying" and the
+// original purpose of bags: "a developer can run a robot only a few
+// times while recording some relevant topics, and then replay the
+// messages on those topics many times".
+//
+// A Player publishes a bag's messages into a computation graph in
+// timestamp order, pacing deliveries by the recorded inter-message gaps
+// scaled by a rate factor. A Clock abstraction lets tests and
+// simulations replay instantly while real consumers get wall-clock
+// pacing.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rosbag"
+)
+
+// Clock abstracts replay pacing.
+type Clock interface {
+	// Sleep pauses for d (which may be zero).
+	Sleep(d time.Duration)
+}
+
+// WallClock paces with real time.
+type WallClock struct{}
+
+// Sleep implements Clock.
+func (WallClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// FastClock replays without pacing but records the virtual time that a
+// paced replay would have taken.
+type FastClock struct{ Elapsed time.Duration }
+
+// Sleep implements Clock.
+func (c *FastClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.Elapsed += d
+	}
+}
+
+// Source yields messages in timestamp order; both the stock reader and
+// BORA's chronological merge satisfy it via the adapters below.
+type Source func(fn func(topic, msgType string, t bagio.Time, data []byte) error) error
+
+// FromReader adapts a stock bag reader (optionally topic-filtered).
+func FromReader(r *rosbag.Reader, topics []string) Source {
+	return func(fn func(string, string, bagio.Time, []byte) error) error {
+		return r.ReadMessages(rosbag.Query{Topics: topics}, func(m rosbag.MessageRef) error {
+			return fn(m.Conn.Topic, m.Conn.Type, m.Time, m.Data)
+		})
+	}
+}
+
+// Options tune a replay.
+type Options struct {
+	// Rate scales playback speed: 1 = recorded speed, 2 = twice as
+	// fast, 0 selects 1.
+	Rate float64
+	// Clock paces deliveries; nil selects WallClock.
+	Clock Clock
+	// QueueSize bounds per-subscriber queues on the created publishers'
+	// topics (informational; subscribers choose their own).
+	QueueSize int
+}
+
+// Stats reports a finished replay.
+type Stats struct {
+	Messages int64
+	Topics   int
+	// BagDuration is the recorded span between first and last message.
+	BagDuration time.Duration
+}
+
+// Play publishes the source's messages into g under the given node
+// name, pacing by recorded timestamps. It returns when the source is
+// exhausted.
+func Play(g *graph.Graph, nodeName string, src Source, opts Options) (Stats, error) {
+	if opts.Rate <= 0 {
+		opts.Rate = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = WallClock{}
+	}
+	node, err := g.NewNode(nodeName)
+	if err != nil {
+		return Stats{}, err
+	}
+	pubs := map[string]*graph.Publisher{}
+	var stats Stats
+	var first, prev bagio.Time
+	started := false
+	err = src(func(topic, msgType string, t bagio.Time, data []byte) error {
+		if msgType == "" {
+			return fmt.Errorf("replay: message on %q has no type", topic)
+		}
+		pub, ok := pubs[topic]
+		if !ok {
+			var err error
+			pub, err = node.Advertise(topic, msgType)
+			if err != nil {
+				return err
+			}
+			pubs[topic] = pub
+			stats.Topics++
+		}
+		if started {
+			gap := t.Sub(prev)
+			if gap > 0 {
+				opts.Clock.Sleep(time.Duration(float64(gap) / opts.Rate))
+			}
+		} else {
+			first = t
+			started = true
+		}
+		prev = t
+		// Publish a copy: the source buffer is only valid per callback.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		if err := pub.PublishRaw(t, buf); err != nil {
+			return err
+		}
+		stats.Messages++
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if started {
+		stats.BagDuration = prev.Sub(first)
+	}
+	return stats, nil
+}
+
+// FromBag adapts a BORA bag's chronological merge as a replay source.
+func FromBag(bag *core.Bag, topics []string) Source {
+	return func(fn func(string, string, bagio.Time, []byte) error) error {
+		return bag.ReadMessagesChrono(topics, bagio.MinTime, bagio.MaxTime, func(m core.MessageRef) error {
+			return fn(m.Conn.Topic, m.Conn.Type, m.Time, m.Data)
+		})
+	}
+}

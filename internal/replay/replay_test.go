@@ -1,0 +1,212 @@
+package replay
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/msgs"
+	"repro/internal/rosbag"
+)
+
+// recordedBag writes a two-topic bag spanning `seconds` seconds.
+func recordedBag(t *testing.T) (string, int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rec.bag")
+	w, f, err := rosbag.Create(path, rosbag.WriterOptions{ChunkThreshold: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	base := int64(1_500_000_000) * 1e9
+	for i := 0; i < 40; i++ {
+		ts := bagio.TimeFromNanos(base + int64(i)*50_000_000) // 20 Hz
+		if err := w.WriteMsg("/imu", ts, &msgs.Imu{Header: msgs.Header{Seq: uint32(i), Stamp: ts}}); err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if i%4 == 0 {
+			tf := &msgs.TFMessage{Transforms: []msgs.TransformStamped{{Header: msgs.Header{Stamp: ts}}}}
+			if err := w.WriteMsg("/tf", ts, tf); err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, count
+}
+
+func TestPlayFromStockReader(t *testing.T) {
+	path, total := recordedBag(t)
+	r, f, err := rosbag.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := graph.New()
+	listener, err := g.NewNode("listener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var gotTimes []bagio.Time
+	sub, err := listener.Subscribe("/imu", 128, func(m graph.Message) {
+		var imu msgs.Imu
+		if err := imu.Unmarshal(m.Data); err != nil {
+			t.Errorf("decode replayed imu: %v", err)
+			return
+		}
+		mu.Lock()
+		gotTimes = append(gotTimes, m.Time)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := &FastClock{}
+	stats, err := Play(g, "player", FromReader(r, nil), Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	if stats.Messages != int64(total) {
+		t.Errorf("replayed %d, want %d", stats.Messages, total)
+	}
+	if stats.Topics != 2 {
+		t.Errorf("Topics = %d", stats.Topics)
+	}
+	// 40 samples at 20 Hz span 1.95 s of recording.
+	if stats.BagDuration != 1950*time.Millisecond {
+		t.Errorf("BagDuration = %v", stats.BagDuration)
+	}
+	// A rate-1 paced replay would sleep the full recorded span.
+	if clock.Elapsed != stats.BagDuration {
+		t.Errorf("virtual pacing = %v, want %v", clock.Elapsed, stats.BagDuration)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotTimes) != 40 {
+		t.Fatalf("listener received %d imu messages", len(gotTimes))
+	}
+	for i := 1; i < len(gotTimes); i++ {
+		if gotTimes[i].Before(gotTimes[i-1]) {
+			t.Fatal("replay out of order")
+		}
+	}
+}
+
+func TestPlayRateScaling(t *testing.T) {
+	path, _ := recordedBag(t)
+	r, f, err := rosbag.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g := graph.New()
+	clock := &FastClock{}
+	stats, err := Play(g, "player", FromReader(r, []string{"/imu"}), Options{Rate: 2, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Elapsed != stats.BagDuration/2 {
+		t.Errorf("2x replay paced %v, want %v", clock.Elapsed, stats.BagDuration/2)
+	}
+}
+
+func TestPlayFromBoraBag(t *testing.T) {
+	path, total := recordedBag(t)
+	backend, err := core.New(filepath.Join(t.TempDir(), "backend"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, _, err := backend.Duplicate(path, "rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	listener, err := g.NewNode("listener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	var mu sync.Mutex
+	for _, topic := range []string{"/imu", "/tf"} {
+		if _, err := listener.Subscribe(topic, 128, func(graph.Message) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := Play(g, "player", FromBag(bag, nil), Options{Clock: &FastClock{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Shutdown()
+	if stats.Messages != int64(total) {
+		t.Errorf("replayed %d, want %d", stats.Messages, total)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != total {
+		t.Errorf("listener received %d, want %d", count, total)
+	}
+}
+
+func TestPlayWallClockSmoke(t *testing.T) {
+	// One short wall-clock-paced replay: 3 messages 10 ms apart.
+	g := graph.New()
+	src := Source(func(fn func(string, string, bagio.Time, []byte) error) error {
+		base := int64(1e18)
+		for i := 0; i < 3; i++ {
+			ts := bagio.TimeFromNanos(base + int64(i)*10_000_000)
+			if err := fn("/t", "sensor_msgs/Imu", ts, (&msgs.Imu{}).Marshal(nil)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	start := time.Now()
+	stats, err := Play(g, "player", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 3 {
+		t.Errorf("Messages = %d", stats.Messages)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("wall-clock replay finished in %v, expected ≥20ms pacing", elapsed)
+	}
+}
+
+func TestPlayValidation(t *testing.T) {
+	g := graph.New()
+	if _, err := g.NewNode("player"); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate node name.
+	src := Source(func(fn func(string, string, bagio.Time, []byte) error) error { return nil })
+	if _, err := Play(g, "player", src, Options{}); err == nil {
+		t.Error("duplicate player node accepted")
+	}
+	// Typeless message.
+	bad := Source(func(fn func(string, string, bagio.Time, []byte) error) error {
+		return fn("/t", "", bagio.Time{Sec: 1}, nil)
+	})
+	if _, err := Play(g, "p2", bad, Options{Clock: &FastClock{}}); err == nil {
+		t.Error("typeless message accepted")
+	}
+}

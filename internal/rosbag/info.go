@@ -1,0 +1,69 @@
+package rosbag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bagio"
+)
+
+// TopicInfo summarizes one topic for `borabag info`.
+type TopicInfo struct {
+	Topic    string
+	Type     string
+	Messages uint64
+}
+
+// Info is a human-oriented bag summary, mirroring `rosbag info`.
+type Info struct {
+	Size      int64
+	Chunks    int
+	Messages  uint64
+	StartTime bagio.Time
+	EndTime   bagio.Time
+	Topics    []TopicInfo
+}
+
+// Info summarizes the opened bag.
+func (br *Reader) Info() Info {
+	info := Info{Size: br.size, Chunks: len(br.chunkInfos)}
+	info.StartTime, info.EndTime = br.TimeRange()
+	perTopic := map[string]*TopicInfo{}
+	for _, c := range br.connsOrder {
+		if _, ok := perTopic[c.Topic]; !ok {
+			perTopic[c.Topic] = &TopicInfo{Topic: c.Topic, Type: c.Type}
+		}
+	}
+	for _, ci := range br.chunkInfos {
+		for conn, count := range ci.Counts {
+			c := br.conns[conn]
+			if c == nil {
+				continue
+			}
+			ti := perTopic[c.Topic]
+			ti.Messages += uint64(count)
+			info.Messages += uint64(count)
+		}
+	}
+	for _, ti := range perTopic {
+		info.Topics = append(info.Topics, *ti)
+	}
+	sort.Slice(info.Topics, func(i, j int) bool { return info.Topics[i].Topic < info.Topics[j].Topic })
+	return info
+}
+
+// String renders the summary in a rosbag-info-like layout.
+func (info Info) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "size:     %d bytes\n", info.Size)
+	fmt.Fprintf(&sb, "chunks:   %d\n", info.Chunks)
+	fmt.Fprintf(&sb, "messages: %d\n", info.Messages)
+	fmt.Fprintf(&sb, "start:    %s\n", info.StartTime)
+	fmt.Fprintf(&sb, "end:      %s\n", info.EndTime)
+	fmt.Fprintf(&sb, "topics:\n")
+	for _, t := range info.Topics {
+		fmt.Fprintf(&sb, "  %-32s %8d msgs  %s\n", t.Topic, t.Messages, t.Type)
+	}
+	return sb.String()
+}

@@ -1,0 +1,563 @@
+package rosbag
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/msgs"
+)
+
+// memFile is an in-memory io.WriteSeeker + io.ReaderAt for tests.
+type memFile struct {
+	buf []byte
+	pos int64
+}
+
+func (m *memFile) Write(p []byte) (int, error) {
+	if need := m.pos + int64(len(p)); need > int64(len(m.buf)) {
+		grown := make([]byte, need)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[m.pos:], p)
+	m.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (m *memFile) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case 0:
+		m.pos = off
+	case 1:
+		m.pos += off
+	case 2:
+		m.pos = int64(len(m.buf)) + off
+	}
+	if m.pos < 0 {
+		return 0, fmt.Errorf("negative seek")
+	}
+	return m.pos, nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, fmt.Errorf("read past end")
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("short read")
+	}
+	return n, nil
+}
+
+// writeTestBag records count messages alternating across three topics.
+func writeTestBag(t *testing.T, opts WriterOptions, count int) *memFile {
+	t.Helper()
+	mf := &memFile{}
+	w, err := NewWriter(mf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		ts := bagio.Time{Sec: uint32(1000 + i), NSec: uint32(i)}
+		switch i % 3 {
+		case 0:
+			m := &msgs.Imu{Header: msgs.Header{Seq: uint32(i), Stamp: ts, FrameID: "/imu"}}
+			if err := w.WriteMsg("/imu", ts, m); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			m := &msgs.Image{Header: msgs.Header{Seq: uint32(i), Stamp: ts}, Height: 4, Width: 4, Encoding: "rgb8", Step: 12, Data: bytes.Repeat([]byte{byte(i)}, 48)}
+			if err := w.WriteMsg("/camera/rgb/image_color", ts, m); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			m := &msgs.TFMessage{Transforms: []msgs.TransformStamped{{Header: msgs.Header{Seq: uint32(i), Stamp: ts}, ChildFrameID: "/base"}}}
+			if err := w.WriteMsg("/tf", ts, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mf
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 2048}, 90)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	if got := r.MessageCount(); got != 90 {
+		t.Errorf("MessageCount = %d, want 90", got)
+	}
+	topics := r.Topics()
+	want := []string{"/camera/rgb/image_color", "/imu", "/tf"}
+	if len(topics) != 3 {
+		t.Fatalf("Topics = %v", topics)
+	}
+	for i, tp := range want {
+		if topics[i] != tp {
+			t.Errorf("topic[%d] = %s, want %s", i, topics[i], tp)
+		}
+	}
+	if r.ChunkCount() < 2 {
+		t.Errorf("expected multiple chunks at 2 KiB threshold, got %d", r.ChunkCount())
+	}
+	start, end := r.TimeRange()
+	if start != (bagio.Time{Sec: 1000, NSec: 0}) {
+		t.Errorf("start = %v", start)
+	}
+	if end != (bagio.Time{Sec: 1089, NSec: 89}) {
+		t.Errorf("end = %v", end)
+	}
+	if r.Stats().ChunkInfosScanned != r.ChunkCount() {
+		t.Errorf("open scanned %d chunk infos, want %d (full traversal)", r.Stats().ChunkInfosScanned, r.ChunkCount())
+	}
+}
+
+func TestReadMessagesAllTopics(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 60)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	var last bagio.Time
+	err = r.ReadMessages(Query{}, func(m MessageRef) error {
+		if m.Time.Before(last) {
+			t.Errorf("messages out of order: %v after %v", m.Time, last)
+		}
+		last = m.Time
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 60 {
+		t.Errorf("read %d messages, want 60", count)
+	}
+}
+
+func TestReadMessagesByTopic(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 60)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	err = r.ReadMessages(Query{Topics: []string{"/imu"}}, func(m MessageRef) error {
+		if m.Conn.Topic != "/imu" {
+			t.Errorf("got topic %s, want /imu", m.Conn.Topic)
+		}
+		var imu msgs.Imu
+		if err := imu.Unmarshal(m.Data); err != nil {
+			t.Errorf("decode imu: %v", err)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Errorf("read %d imu messages, want 20", count)
+	}
+}
+
+func TestReadMessagesTimeRange(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 90)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Start: bagio.Time{Sec: 1030}, End: bagio.Time{Sec: 1059, NSec: 999}}
+	var count int
+	err = r.ReadMessages(q, func(m MessageRef) error {
+		if m.Time.Before(q.Start) || q.End.Before(m.Time) {
+			t.Errorf("message at %v outside [%v, %v]", m.Time, q.Start, q.End)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 30 {
+		t.Errorf("read %d messages in window, want 30", count)
+	}
+}
+
+func TestReadMessagesTopicAndTime(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 90)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Topics: []string{"/tf"}, Start: bagio.Time{Sec: 1000}, End: bagio.Time{Sec: 1044, NSec: 999999999}}
+	var count int
+	err = r.ReadMessages(q, func(m MessageRef) error {
+		if m.Conn.Topic != "/tf" {
+			t.Errorf("topic %s", m.Conn.Topic)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /tf messages are at i%3==2: i in {2,5,...,44} → 15 messages.
+	if count != 15 {
+		t.Errorf("read %d tf messages in window, want 15", count)
+	}
+}
+
+func TestCompressionGZRoundTrip(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 4096, Compression: bagio.CompressionGZ}, 45)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if err := r.ReadMessages(Query{}, func(m MessageRef) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 45 {
+		t.Errorf("read %d messages, want 45", count)
+	}
+}
+
+func TestWriterRejectsAfterClose(t *testing.T) {
+	mf := &memFile{}
+	w, err := NewWriter(mf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddConnection("/x", "sensor_msgs/Imu"); err == nil {
+		t.Error("AddConnection after Close should fail")
+	}
+	if err := w.WriteMessage(0, bagio.Time{}, nil); err == nil {
+		t.Error("WriteMessage after Close should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close should be nil, got %v", err)
+	}
+}
+
+func TestWriterRejectsUnknownConnection(t *testing.T) {
+	mf := &memFile{}
+	w, err := NewWriter(mf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMessage(5, bagio.Time{Sec: 1}, []byte("x")); err == nil {
+		t.Error("WriteMessage on unknown connection should fail")
+	}
+}
+
+func TestAddConnectionIdempotent(t *testing.T) {
+	mf := &memFile{}
+	w, err := NewWriter(mf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.AddConnection("/t", "sensor_msgs/Imu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddConnection("/t", "sensor_msgs/Imu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same topic/type got distinct connections %d, %d", a, b)
+	}
+	c, err := w.AddConnection("/t2", "sensor_msgs/Imu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different topic reused connection id")
+	}
+}
+
+func TestOpenRejectsUnclosedBag(t *testing.T) {
+	mf := &memFile{}
+	w, err := NewWriter(mf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMsg("/imu", bagio.Time{Sec: 1}, &msgs.Imu{}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: index_pos stays 0.
+	if _, err := OpenReader(mf, int64(len(mf.buf))); err == nil {
+		t.Error("OpenReader accepted an unclosed bag")
+	}
+}
+
+func TestOpenRejectsTruncatedIndex(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 30)
+	if _, err := OpenReader(mf, int64(len(mf.buf))-10); err == nil {
+		t.Error("OpenReader accepted truncated bag")
+	}
+}
+
+func TestOnDiskBag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.bag")
+	w, f, err := Create(path, WriterOptions{ChunkThreshold: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ts := bagio.Time{Sec: uint32(10 + i)}
+		if err := w.WriteMsg("/imu", ts, &msgs.Imu{Header: msgs.Header{Seq: uint32(i), Stamp: ts}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if got := r.MessageCount(); got != 50 {
+		t.Errorf("MessageCount = %d, want 50", got)
+	}
+	if _, _, err := Open(filepath.Join(dir, "missing.bag")); err == nil {
+		t.Error("Open on missing file should fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.bag"), []byte("not a bag"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(filepath.Join(dir, "junk.bag")); err == nil {
+		t.Error("Open on junk file should fail")
+	}
+}
+
+func TestInfoSummary(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 60)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := r.Info()
+	if info.Messages != 60 {
+		t.Errorf("info.Messages = %d", info.Messages)
+	}
+	if len(info.Topics) != 3 {
+		t.Errorf("info.Topics = %v", info.Topics)
+	}
+	for _, ti := range info.Topics {
+		if ti.Messages != 20 {
+			t.Errorf("topic %s has %d messages, want 20", ti.Topic, ti.Messages)
+		}
+		if ti.Type == "" {
+			t.Errorf("topic %s missing type", ti.Topic)
+		}
+	}
+	s := info.String()
+	for _, want := range []string{"/imu", "/tf", "messages: 60"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("Info.String() missing %q", want)
+		}
+	}
+}
+
+func TestMessageCountByTopic(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 90)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MessageCount("/imu"); got != 30 {
+		t.Errorf("imu count = %d", got)
+	}
+	if got := r.MessageCount("/imu", "/tf"); got != 60 {
+		t.Errorf("imu+tf count = %d", got)
+	}
+	if got := r.MessageCount("/nope"); got != 0 {
+		t.Errorf("missing topic count = %d", got)
+	}
+}
+
+func TestQueryStatsGrow(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 90)
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	if err := r.ReadMessages(Query{Topics: []string{"/imu"}}, func(MessageRef) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.ChunksRead <= before.ChunksRead {
+		t.Error("query did not read chunks")
+	}
+	if after.MessagesScanned < 90 {
+		t.Errorf("baseline should scan all %d index entries, scanned %d", 90, after.MessagesScanned)
+	}
+	if after.Seeks <= before.Seeks {
+		t.Error("query did not seek")
+	}
+}
+
+// Randomized consistency check: arbitrary topic subsets and windows agree
+// with a brute-force model.
+func TestReadMessagesRandomizedAgainstModel(t *testing.T) {
+	const n = 120
+	type modelMsg struct {
+		topic string
+		time  bagio.Time
+	}
+	var model []modelMsg
+	mf := &memFile{}
+	w, err := NewWriter(mf, WriterOptions{ChunkThreshold: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	topics := []string{"/a", "/b", "/c", "/d"}
+	for i := 0; i < n; i++ {
+		ts := bagio.Time{Sec: uint32(100 + rng.Intn(50)), NSec: uint32(rng.Intn(1e9))}
+		topic := topics[rng.Intn(len(topics))]
+		m := &msgs.TransformStamped{Header: msgs.Header{Seq: uint32(i), Stamp: ts}}
+		if err := w.WriteMsg(topic, ts, m); err != nil {
+			t.Fatal(err)
+		}
+		model = append(model, modelMsg{topic: topic, time: ts})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(mf, int64(len(mf.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		sub := topics[:1+rng.Intn(len(topics))]
+		start := bagio.Time{Sec: uint32(100 + rng.Intn(50))}
+		end := start.Add(time.Duration(rng.Intn(30)) * time.Second)
+		wantCount := 0
+		for _, m := range model {
+			inTopic := false
+			for _, tp := range sub {
+				if m.topic == tp {
+					inTopic = true
+				}
+			}
+			if inTopic && !m.time.Before(start) && !end.Before(m.time) {
+				wantCount++
+			}
+		}
+		got := 0
+		err := r.ReadMessages(Query{Topics: sub, Start: start, End: end}, func(MessageRef) error {
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantCount {
+			t.Errorf("trial %d: topics=%v window=[%v,%v]: got %d, want %d", trial, sub, start, end, got, wantCount)
+		}
+	}
+}
+
+// Property: arbitrary message streams (random topics, times, payload
+// sizes, chunk thresholds) survive a full write→open→read round trip
+// with counts, order and payloads intact.
+func TestFullRoundTripQuick(t *testing.T) {
+	type spec struct {
+		TopicIdx uint8
+		NSec     uint32
+		Size     uint8
+	}
+	f := func(specs []spec, threshold uint16, gz bool) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 200 {
+			specs = specs[:200]
+		}
+		comp := bagio.CompressionNone
+		if gz {
+			comp = bagio.CompressionGZ
+		}
+		mf := &memFile{}
+		w, err := NewWriter(mf, WriterOptions{
+			ChunkThreshold: 256 + int(threshold)%4096,
+			Compression:    comp,
+		})
+		if err != nil {
+			return false
+		}
+		topics := []string{"/a", "/b", "/c"}
+		type rec struct {
+			topic string
+			time  bagio.Time
+			data  []byte
+		}
+		var want []rec
+		for i, s := range specs {
+			topic := topics[int(s.TopicIdx)%len(topics)]
+			// Monotone timestamps keep the expected global order simple.
+			ts := bagio.Time{Sec: uint32(i + 1), NSec: s.NSec % 1e9}
+			data := bytes.Repeat([]byte{byte(i)}, 1+int(s.Size)%64)
+			conn, err := w.AddConnection(topic, "x/Y")
+			if err != nil {
+				return false
+			}
+			if err := w.WriteMessage(conn, ts, data); err != nil {
+				return false
+			}
+			want = append(want, rec{topic: topic, time: ts, data: data})
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := OpenReader(mf, int64(len(mf.buf)))
+		if err != nil {
+			return false
+		}
+		if r.MessageCount() != uint64(len(want)) {
+			return false
+		}
+		i := 0
+		err = r.ReadMessages(Query{}, func(m MessageRef) error {
+			if i >= len(want) {
+				return fmt.Errorf("extra message")
+			}
+			exp := want[i]
+			if m.Conn.Topic != exp.topic || m.Time != exp.time || !bytes.Equal(m.Data, exp.data) {
+				return fmt.Errorf("mismatch at %d", i)
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

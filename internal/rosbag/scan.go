@@ -1,0 +1,126 @@
+package rosbag
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/bagio"
+)
+
+// ScanFunc receives each message during a sequential scan, in file order.
+// The data slice is only valid for the duration of the call.
+type ScanFunc func(conn *bagio.Connection, t bagio.Time, data []byte) error
+
+// Scan iterates every message of a bag in file (chronological) order with
+// a single pass and no index usage — the access pattern of BORA's data
+// organizer, which "re-distributes data to target sub-directories by
+// scanning the file once" (Fig 6). Connections are discovered from the
+// records embedded in chunks; the index section at the tail is skipped.
+func Scan(r io.ReaderAt, size int64, fn ScanFunc) error {
+	sc := bagio.NewRecordScanner(io.NewSectionReader(r, 0, size))
+	if err := sc.ReadMagic(); err != nil {
+		return err
+	}
+	first, err := sc.ReadRecord()
+	if err != nil {
+		return fmt.Errorf("rosbag: scan bag header: %w", err)
+	}
+	op, err := first.Op()
+	if err != nil {
+		return err
+	}
+	if op != bagio.OpBagHeader {
+		return fmt.Errorf("rosbag: first record has op %#x, want bag header", op)
+	}
+	bh, err := bagio.DecodeBagHeader(first)
+	if err != nil {
+		return err
+	}
+	conns := map[uint32]*bagio.Connection{}
+	for {
+		// The chunk section ends at index_pos; everything after it is
+		// connection/chunk-info records we do not need for a scan.
+		if bh.IndexPos != 0 && uint64(sc.Offset()) >= bh.IndexPos {
+			return nil
+		}
+		rec, err := sc.ReadRecord()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		op, err := rec.Op()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case bagio.OpChunk:
+			inner, err := bagio.DecodeChunk(rec)
+			if err != nil {
+				return err
+			}
+			if err := scanChunkRecords(inner, conns, fn); err != nil {
+				return err
+			}
+		case bagio.OpIndexData:
+			// Interleaved per-chunk index records: not needed.
+		case bagio.OpConnection:
+			c, err := bagio.DecodeConnection(rec)
+			if err != nil {
+				return err
+			}
+			if _, dup := conns[c.ID]; !dup {
+				conns[c.ID] = c
+			}
+		case bagio.OpChunkInfo:
+			// Reached the index section of an unclosed-header bag.
+			return nil
+		default:
+			return fmt.Errorf("rosbag: unexpected op %#x at offset %d during scan", op, sc.Offset())
+		}
+	}
+}
+
+// scanChunkRecords iterates the records inside an uncompressed chunk.
+func scanChunkRecords(inner []byte, conns map[uint32]*bagio.Connection, fn ScanFunc) error {
+	sc := bagio.NewRecordScanner(bytes.NewReader(inner))
+	for {
+		rec, err := sc.ReadRecord()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		op, err := rec.Op()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case bagio.OpConnection:
+			c, err := bagio.DecodeConnection(rec)
+			if err != nil {
+				return err
+			}
+			if _, dup := conns[c.ID]; !dup {
+				conns[c.ID] = c
+			}
+		case bagio.OpMessageData:
+			md, err := bagio.DecodeMessageData(rec)
+			if err != nil {
+				return err
+			}
+			c := conns[md.Conn]
+			if c == nil {
+				return fmt.Errorf("rosbag: message on connection %d before its connection record", md.Conn)
+			}
+			if err := fn(c, md.Time, md.Data); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("rosbag: unexpected op %#x inside chunk", op)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package rosbag
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bagio"
+)
+
+func TestScanVisitsAllMessagesInFileOrder(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 90)
+	var count int
+	var last bagio.Time
+	err := Scan(mf, int64(len(mf.buf)), func(conn *bagio.Connection, ts bagio.Time, data []byte) error {
+		if conn == nil || conn.Topic == "" {
+			t.Fatal("missing connection metadata")
+		}
+		if ts.Before(last) {
+			t.Errorf("scan out of order: %v after %v", ts, last)
+		}
+		last = ts
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 90 {
+		t.Errorf("scanned %d messages, want 90", count)
+	}
+}
+
+func TestScanStopsAtIndexSection(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 30)
+	// A full scan must not complain about the tail connection and
+	// chunk-info records.
+	if err := Scan(mf, int64(len(mf.buf)), func(*bagio.Connection, bagio.Time, []byte) error {
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan choked on index section: %v", err)
+	}
+}
+
+func TestScanCallbackErrorPropagates(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 1024}, 30)
+	boom := errors.New("boom")
+	seen := 0
+	err := Scan(mf, int64(len(mf.buf)), func(*bagio.Connection, bagio.Time, []byte) error {
+		seen++
+		if seen == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if seen != 5 {
+		t.Errorf("callback ran %d times after error", seen)
+	}
+}
+
+func TestScanGZCompressedBag(t *testing.T) {
+	mf := writeTestBag(t, WriterOptions{ChunkThreshold: 2048, Compression: bagio.CompressionGZ}, 45)
+	count := 0
+	if err := Scan(mf, int64(len(mf.buf)), func(*bagio.Connection, bagio.Time, []byte) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 45 {
+		t.Errorf("scanned %d, want 45", count)
+	}
+}
+
+func TestScanRejectsGarbage(t *testing.T) {
+	bad := &memFile{buf: []byte("definitely not a bag")}
+	if err := Scan(bad, int64(len(bad.buf)), func(*bagio.Connection, bagio.Time, []byte) error {
+		return nil
+	}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package stripe implements a striped file: one logical byte stream
+// laid out round-robin across N lane files at a fixed stripe size, the
+// data distribution scheme of parallel file systems like the paper's
+// PVFS and Lustre platforms. The container layer can stripe a topic's
+// data file across lanes so reads fan out over multiple spindles/OSTs —
+// the "multiple levels of parallelism in a file system" BORA exploits.
+package stripe
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// DefaultStripeSize matches the common parallel-file-system default.
+const DefaultStripeSize = 64 * 1024
+
+// LanePrefix names the lane files: <prefix>0, <prefix>1, ...
+const LanePrefix = "data."
+
+// lanePath returns the path of lane i under dir.
+func lanePath(dir string, i int) string {
+	return filepath.Join(dir, LanePrefix+strconv.Itoa(i))
+}
+
+// Writer appends a logical stream across lane files.
+type Writer struct {
+	lanes      []*os.File
+	stripeSize int64
+	offset     int64 // logical bytes written
+	closed     bool
+}
+
+// Create initializes a striped file with the given lane count under
+// dir. stripeSize ≤ 0 selects DefaultStripeSize.
+func Create(dir string, lanes int, stripeSize int64) (*Writer, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("stripe: lane count %d < 1", lanes)
+	}
+	if stripeSize <= 0 {
+		stripeSize = DefaultStripeSize
+	}
+	w := &Writer{stripeSize: stripeSize}
+	for i := 0; i < lanes; i++ {
+		f, err := os.Create(lanePath(dir, i))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.lanes = append(w.lanes, f)
+	}
+	return w, nil
+}
+
+// Append writes p at the current logical end, returning the logical
+// offset it landed at.
+func (w *Writer) Append(p []byte) (int64, error) {
+	if w.closed {
+		return 0, fmt.Errorf("stripe: writer closed")
+	}
+	start := w.offset
+	off := w.offset
+	for len(p) > 0 {
+		stripeIdx := off / w.stripeSize
+		lane := w.lanes[stripeIdx%int64(len(w.lanes))]
+		within := off % w.stripeSize
+		room := w.stripeSize - within
+		n := int64(len(p))
+		if n > room {
+			n = room
+		}
+		lanePos := (stripeIdx/int64(len(w.lanes)))*w.stripeSize + within
+		if _, err := lane.WriteAt(p[:n], lanePos); err != nil {
+			return start, err
+		}
+		p = p[n:]
+		off += n
+	}
+	w.offset = off
+	return start, nil
+}
+
+// Size returns the logical length written so far.
+func (w *Writer) Size() int64 { return w.offset }
+
+// Close flushes and closes every lane.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var first error
+	for _, f := range w.lanes {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Reader serves random reads of the logical stream.
+type Reader struct {
+	lanes      []*os.File
+	stripeSize int64
+	size       int64
+}
+
+// Open opens an existing striped file with the given geometry. The
+// logical size is derived from the lane sizes.
+func Open(dir string, lanes int, stripeSize int64) (*Reader, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("stripe: lane count %d < 1", lanes)
+	}
+	if stripeSize <= 0 {
+		stripeSize = DefaultStripeSize
+	}
+	r := &Reader{stripeSize: stripeSize}
+	for i := 0; i < lanes; i++ {
+		f, err := os.Open(lanePath(dir, i))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			r.Close()
+			return nil, err
+		}
+		r.size += st.Size()
+		r.lanes = append(r.lanes, f)
+	}
+	return r, nil
+}
+
+// Size returns the logical file size.
+func (r *Reader) Size() int64 { return r.size }
+
+// ReadAt implements io.ReaderAt over the logical stream.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("stripe: negative offset")
+	}
+	total := 0
+	for len(p) > 0 {
+		if off >= r.size {
+			return total, io.EOF
+		}
+		stripeIdx := off / r.stripeSize
+		lane := r.lanes[stripeIdx%int64(len(r.lanes))]
+		within := off % r.stripeSize
+		room := r.stripeSize - within
+		n := int64(len(p))
+		if n > room {
+			n = room
+		}
+		if remaining := r.size - off; n > remaining {
+			n = remaining
+		}
+		lanePos := (stripeIdx/int64(len(r.lanes)))*r.stripeSize + within
+		read, err := lane.ReadAt(p[:n], lanePos)
+		total += read
+		if err != nil {
+			return total, fmt.Errorf("stripe: lane read at %d: %w", lanePos, err)
+		}
+		p = p[n:]
+		off += n
+	}
+	return total, nil
+}
+
+// Close releases the lane handles.
+func (r *Reader) Close() error {
+	var first error
+	for _, f := range r.lanes {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,199 @@
+package stripe
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripDir(t *testing.T, lanes int, stripeSize int64, chunks [][]byte) (*Reader, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir, lanes, stripeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logical []byte
+	for _, c := range chunks {
+		off, err := w.Append(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(len(logical)) {
+			t.Fatalf("Append returned offset %d, want %d", off, len(logical))
+		}
+		logical = append(logical, c...)
+	}
+	if w.Size() != int64(len(logical)) {
+		t.Fatalf("Size = %d, want %d", w.Size(), len(logical))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, lanes, stripeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, logical
+}
+
+func TestRoundTripSmallStripes(t *testing.T) {
+	chunks := [][]byte{
+		[]byte("hello "), []byte("striped "), []byte("world, this payload spans lanes"),
+	}
+	r, logical := roundTripDir(t, 3, 8, chunks)
+	if r.Size() != int64(len(logical)) {
+		t.Fatalf("reader Size = %d", r.Size())
+	}
+	got := make([]byte, len(logical))
+	if _, err := r.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, logical) {
+		t.Errorf("full read mismatch:\n got %q\nwant %q", got, logical)
+	}
+}
+
+func TestPartialReads(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789"), 100)
+	r, logical := roundTripDir(t, 4, 16, [][]byte{payload})
+	for _, tc := range []struct{ off, n int }{
+		{0, 1}, {15, 2}, {16, 16}, {17, 40}, {999, 1}, {500, 250},
+	} {
+		got := make([]byte, tc.n)
+		if _, err := r.ReadAt(got, int64(tc.off)); err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(got, logical[tc.off:tc.off+tc.n]) {
+			t.Errorf("range [%d,%d) mismatch", tc.off, tc.off+tc.n)
+		}
+	}
+	// Reading past the end returns EOF.
+	buf := make([]byte, 10)
+	if _, err := r.ReadAt(buf, r.Size()); err != io.EOF {
+		t.Errorf("read at EOF: %v", err)
+	}
+	if _, err := r.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestLaneDistribution(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(bytes.Repeat([]byte{0xAA}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 bytes at stripe 10 over 4 lanes: lanes get 30,30,20,20 bytes.
+	want := []int64{30, 30, 20, 20}
+	for i, wantSize := range want {
+		st, err := os.Stat(filepath.Join(dir, LanePrefix+string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != wantSize {
+			t.Errorf("lane %d has %d bytes, want %d", i, st.Size(), wantSize)
+		}
+	}
+}
+
+func TestWriterClosedRejectsAppend(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Error("append after close accepted")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := Create(t.TempDir(), 0, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := Open(t.TempDir(), 0, 0); err == nil {
+		t.Error("zero lanes accepted on open")
+	}
+	if _, err := Open(t.TempDir(), 2, 0); err == nil {
+		t.Error("open of missing lanes accepted")
+	}
+}
+
+// Property: arbitrary chunk sequences round-trip under arbitrary small
+// geometries.
+func TestStripeQuick(t *testing.T) {
+	f := func(seed int64, lanes8, stripe8 uint8) bool {
+		lanes := 1 + int(lanes8%5)
+		stripeSize := int64(1 + stripe8%64)
+		rng := rand.New(rand.NewSource(seed))
+		var chunks [][]byte
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			c := make([]byte, rng.Intn(200))
+			rng.Read(c)
+			chunks = append(chunks, c)
+		}
+		dir, err := os.MkdirTemp("", "stripe-quick-")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		w, err := Create(dir, lanes, stripeSize)
+		if err != nil {
+			return false
+		}
+		var logical []byte
+		for _, c := range chunks {
+			if _, err := w.Append(c); err != nil {
+				return false
+			}
+			logical = append(logical, c...)
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := Open(dir, lanes, stripeSize)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		if len(logical) == 0 {
+			return r.Size() == 0
+		}
+		got := make([]byte, len(logical))
+		if _, err := r.ReadAt(got, 0); err != nil {
+			return false
+		}
+		if !bytes.Equal(got, logical) {
+			return false
+		}
+		// Random sub-range.
+		off := rng.Intn(len(logical))
+		n := rng.Intn(len(logical) - off)
+		sub := make([]byte, n)
+		if _, err := r.ReadAt(sub, int64(off)); err != nil {
+			return false
+		}
+		return bytes.Equal(sub, logical[off:off+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package tagman
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tb := New(0)
+	tb.Put("/imu", "/mnt/bag1/imu")
+	tb.Put("/tf", "/mnt/bag1/tf")
+	if v, ok := tb.Get("/imu"); !ok || v != "/mnt/bag1/imu" {
+		t.Errorf("Get(/imu) = %q, %v", v, ok)
+	}
+	if v, ok := tb.Get("/tf"); !ok || v != "/mnt/bag1/tf" {
+		t.Errorf("Get(/tf) = %q, %v", v, ok)
+	}
+	if _, ok := tb.Get("/missing"); ok {
+		t.Error("Get on missing key returned ok")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tb := New(0)
+	tb.Put("/x", "a")
+	tb.Put("/x", "b")
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d after replace", tb.Len())
+	}
+	if v, _ := tb.Get("/x"); v != "b" {
+		t.Errorf("Get = %q, want b", v)
+	}
+}
+
+func TestGrowthPreservesEntries(t *testing.T) {
+	tb := New(0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tb.Put(fmt.Sprintf("/topic%05d", i), fmt.Sprintf("/mnt/bag/t%05d", i))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i += 97 {
+		k := fmt.Sprintf("/topic%05d", i)
+		if v, ok := tb.Get(k); !ok || v != fmt.Sprintf("/mnt/bag/t%05d", i) {
+			t.Errorf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	tb := Build(map[string]string{"/a": "pa", "/b": "pb", "/c": "pc"})
+	got, err := tb.Lookup([]string{"/c", "/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "pc" || got[1] != "pa" {
+		t.Errorf("Lookup = %v", got)
+	}
+	if _, err := tb.Lookup([]string{"/a", "/zz"}); err == nil {
+		t.Error("Lookup with unknown topic should fail")
+	}
+}
+
+func TestTopicsSorted(t *testing.T) {
+	tb := Build(map[string]string{"/c": "1", "/a": "2", "/b": "3"})
+	got := tb.Topics()
+	want := []string{"/a", "/b", "/c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Topics = %v", got)
+		}
+	}
+}
+
+func TestSizeBytesGrowsWithEntries(t *testing.T) {
+	small := New(0)
+	small.Put("/a", "/p/a")
+	big := New(0)
+	for i := 0; i < 1000; i++ {
+		big.Put(fmt.Sprintf("/topic%d", i), fmt.Sprintf("/p/topic%d", i))
+	}
+	if small.SizeBytes() >= big.SizeBytes() {
+		t.Errorf("SizeBytes: small=%d big=%d", small.SizeBytes(), big.SizeBytes())
+	}
+	// Table I reports ~1.5 MB at 100k topics; sanity bound ours at 100k.
+	huge := New(100_000)
+	for i := 0; i < 100_000; i++ {
+		huge.Put(fmt.Sprintf("/t%06d", i), fmt.Sprintf("/mnt/bag/t%06d", i))
+	}
+	if mb := huge.SizeBytes() / (1 << 20); mb > 32 {
+		t.Errorf("100k-topic table is %d MiB, implausibly large", mb)
+	}
+}
+
+// Property: the table agrees with a Go map under random workloads.
+func TestAgainstMapQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New(0)
+		model := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("/t%d", rng.Intn(100))
+			v := fmt.Sprintf("p%d", rng.Intn(1000))
+			tb.Put(k, v)
+			model[k] = v
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tb.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New(0)
+	if tb.Len() != 0 {
+		t.Error("new table not empty")
+	}
+	if _, ok := tb.Get("/x"); ok {
+		t.Error("empty table Get returned ok")
+	}
+	if got := tb.Topics(); len(got) != 0 {
+		t.Errorf("Topics = %v", got)
+	}
+	if tb.SizeBytes() <= 0 {
+		t.Error("SizeBytes should count the slot array")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tb := New(0)
+	for i := 0; i < 500; i++ {
+		tb.Put(fmt.Sprintf("/topic%03d", i), fmt.Sprintf("/mnt/bag/t%03d", i))
+	}
+	out, err := Unmarshal(tb.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != tb.Len() {
+		t.Fatalf("Len = %d, want %d", out.Len(), tb.Len())
+	}
+	for i := 0; i < 500; i += 37 {
+		k := fmt.Sprintf("/topic%03d", i)
+		want, _ := tb.Get(k)
+		got, ok := out.Get(k)
+		if !ok || got != want {
+			t.Errorf("Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	tb := Build(map[string]string{"/a": "1", "/b": "2"})
+	good := tb.Marshal()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:3],
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte{}, good...), 0xAA),
+	}
+	for name, in := range cases {
+		if _, err := Unmarshal(in); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}

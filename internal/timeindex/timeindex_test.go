@@ -1,0 +1,223 @@
+package timeindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bagio"
+)
+
+func ts(sec uint32, nsec uint32) bagio.Time { return bagio.Time{Sec: sec, NSec: nsec} }
+
+func TestPaperExample(t *testing.T) {
+	// Fig 8: window = 5 time units; the pair (31, [...]) covers messages
+	// with timestamps in [31, 36). We use 5-second windows.
+	ix := New(5 * time.Second)
+	// Window [30,35): messages at 31, 33, 34.
+	ix.Add(ts(31, 0), 0)
+	ix.Add(ts(33, 0), 1)
+	ix.Add(ts(34, 0), 2)
+	// Window [35,40): message at 36.
+	ix.Add(ts(36, 0), 3)
+	if ix.WindowCount() != 2 {
+		t.Fatalf("WindowCount = %d", ix.WindowCount())
+	}
+	got := ix.Query(ts(31, 0), ts(34, 0))
+	if !reflect.DeepEqual(got, []uint32{0, 1, 2}) {
+		t.Errorf("Query[31,34] = %v", got)
+	}
+	got = ix.Query(ts(31, 0), ts(36, 0))
+	if !reflect.DeepEqual(got, []uint32{0, 1, 2, 3}) {
+		t.Errorf("Query[31,36] = %v", got)
+	}
+	if min, ok := ix.Min(); !ok || min != 30*1e9 {
+		t.Errorf("Min = %d, %v", min, ok)
+	}
+}
+
+func TestQueryIsSuperset(t *testing.T) {
+	// The coarse index may over-return within the boundary windows but
+	// must never miss an in-range message.
+	rng := rand.New(rand.NewSource(3))
+	var times []bagio.Time
+	for i := 0; i < 500; i++ {
+		times = append(times, ts(uint32(100+rng.Intn(60)), uint32(rng.Intn(1e9))))
+	}
+	ix := Build(2*time.Second, times)
+	for trial := 0; trial < 50; trial++ {
+		start := ts(uint32(100+rng.Intn(60)), 0)
+		end := start.Add(time.Duration(rng.Intn(20)) * time.Second)
+		got := map[uint32]bool{}
+		for _, p := range ix.Query(start, end) {
+			got[p] = true
+		}
+		for i, tm := range times {
+			inRange := !tm.Before(start) && !end.Before(tm)
+			if inRange && !got[uint32(i)] {
+				t.Fatalf("trial %d: message %d at %v missing from window query [%v,%v]", trial, i, tm, start, end)
+			}
+		}
+		// Over-return is bounded by one window on each side.
+		for p := range got {
+			tm := times[p]
+			if tm.Before(start.Add(-ix.Window())) || end.Add(ix.Window()).Before(tm) {
+				t.Fatalf("trial %d: position %d at %v outside slack window", trial, p, tm)
+			}
+		}
+	}
+}
+
+func TestQueryEmptyAndInverted(t *testing.T) {
+	ix := Build(time.Second, []bagio.Time{ts(10, 0)})
+	if got := ix.Query(ts(20, 0), ts(30, 0)); got != nil {
+		t.Errorf("query of empty range = %v", got)
+	}
+	if got := ix.Query(ts(30, 0), ts(20, 0)); got != nil {
+		t.Errorf("inverted range = %v", got)
+	}
+	if n := ix.WindowsScanned(ts(30, 0), ts(20, 0)); n != 0 {
+		t.Errorf("inverted WindowsScanned = %d", n)
+	}
+}
+
+func TestWindowsScanned(t *testing.T) {
+	var times []bagio.Time
+	for sec := uint32(0); sec < 100; sec++ {
+		times = append(times, ts(sec, 0))
+	}
+	ix := Build(10*time.Second, times)
+	if ix.WindowCount() != 10 {
+		t.Fatalf("WindowCount = %d", ix.WindowCount())
+	}
+	if n := ix.WindowsScanned(ts(0, 0), ts(99, 0)); n != 10 {
+		t.Errorf("full scan touches %d windows", n)
+	}
+	if n := ix.WindowsScanned(ts(15, 0), ts(24, 0)); n != 2 {
+		t.Errorf("narrow scan touches %d windows, want 2", n)
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	ix := New(0)
+	if ix.Window() != DefaultWindow {
+		t.Errorf("Window = %v", ix.Window())
+	}
+	if ix.WindowCount() != 0 {
+		t.Error("new index not empty")
+	}
+	if _, ok := ix.Min(); ok {
+		t.Error("Min on empty index returned ok")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var times []bagio.Time
+	for i := 0; i < 300; i++ {
+		times = append(times, ts(uint32(rng.Intn(1000)), uint32(rng.Intn(1e9))))
+	}
+	ix := Build(3*time.Second, times)
+	out, err := Unmarshal(ix.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out.Window() != ix.Window() || out.WindowCount() != ix.WindowCount() {
+		t.Errorf("shape mismatch: %v/%d vs %v/%d", out.Window(), out.WindowCount(), ix.Window(), ix.WindowCount())
+	}
+	start, end := ts(0, 0), ts(1000, 0)
+	if !reflect.DeepEqual(sortedU32(ix.Query(start, end)), sortedU32(out.Query(start, end))) {
+		t.Error("full query differs after round trip")
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := ts(uint32(rng.Intn(1000)), 0)
+		e := s.Add(time.Duration(rng.Intn(50)) * time.Second)
+		if !reflect.DeepEqual(ix.Query(s, e), out.Query(s, e)) {
+			t.Fatalf("trial %d: query differs after round trip", trial)
+		}
+	}
+}
+
+func sortedU32(v []uint32) []uint32 {
+	out := append([]uint32(nil), v...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	ix := Build(time.Second, []bagio.Time{ts(1, 0), ts(2, 0)})
+	good := ix.Marshal()
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:8],
+		"truncated":    good[:len(good)-2],
+		"trailing":     append(append([]byte{}, good...), 0xFF),
+	}
+	for name, in := range cases {
+		if _, err := Unmarshal(in); err == nil {
+			t.Errorf("%s: Unmarshal accepted corrupt input", name)
+		}
+	}
+	// Zero window.
+	bad := append([]byte{}, good...)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0
+	}
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("Unmarshal accepted zero window")
+	}
+}
+
+// Property: Query(t, t) always contains every position whose timestamp
+// is exactly t.
+func TestPointQueryQuick(t *testing.T) {
+	f := func(secs []uint16, probe uint16) bool {
+		var times []bagio.Time
+		for _, s := range secs {
+			times = append(times, ts(uint32(s), 0))
+		}
+		ix := Build(7*time.Second, times)
+		got := map[uint32]bool{}
+		for _, p := range ix.Query(ts(uint32(probe), 0), ts(uint32(probe), 0)) {
+			got[p] = true
+		}
+		for i, tm := range times {
+			if tm.Sec == uint32(probe) && !got[uint32(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal preserves query results exactly.
+func TestMarshalQuick(t *testing.T) {
+	f := func(secs []uint16, s, e uint16) bool {
+		var times []bagio.Time
+		for _, sec := range secs {
+			times = append(times, ts(uint32(sec), 0))
+		}
+		ix := Build(4*time.Second, times)
+		out, err := Unmarshal(ix.Marshal())
+		if err != nil {
+			return false
+		}
+		lo, hi := s, e
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return reflect.DeepEqual(ix.Query(ts(uint32(lo), 0), ts(uint32(hi), 0)), out.Query(ts(uint32(lo), 0), ts(uint32(hi), 0)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rosbag"
+	"repro/internal/workload"
+)
+
+func mountTestFS(t *testing.T) *FS {
+	t.Helper()
+	dir := t.TempDir()
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(backend, filepath.Join(dir, "spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// writeSourceBag produces a small real Handheld-SLAM-like bag on disk.
+func writeSourceBag(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "src.bag")
+	if _, err := workload.WriteHandheldSLAMBag(path, workload.SyntheticOptions{Seconds: 1, ScaleDown: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteThroughFrontEnd(t *testing.T) {
+	fs := mountTestFS(t)
+	src := writeSourceBag(t, t.TempDir())
+
+	// "Put bag file to the mount point": stream it through the front end.
+	w, err := fs.Create("sample.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw[len(raw)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close (organize): %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after close accepted")
+	}
+
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "sample.bag" {
+		t.Fatalf("List = %v", names)
+	}
+	if sz, err := fs.Stat("sample.bag"); err != nil || sz <= 0 {
+		t.Errorf("Stat = %d, %v", sz, err)
+	}
+	st := fs.Stats()
+	if st.Creates != 1 || st.Writes != 2 || st.Closes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReadBackThroughFrontEndWithStockReader(t *testing.T) {
+	fs := mountTestFS(t)
+	srcDir := t.TempDir()
+	src := writeSourceBag(t, srcDir)
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("roundtrip.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reconstructed stream must parse with the stock reader and carry
+	// the same messages.
+	rf, err := fs.Open("roundtrip.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if rf.Size() <= 0 {
+		t.Fatal("empty reconstructed bag")
+	}
+	r, err := rosbag.OpenReader(rf, rf.Size())
+	if err != nil {
+		t.Fatalf("stock reader on reconstructed bag: %v", err)
+	}
+	orig, f, err := rosbag.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got, want := r.MessageCount(), orig.MessageCount(); got != want {
+		t.Errorf("reconstructed has %d messages, source %d", got, want)
+	}
+	if got, want := len(r.Topics()), len(orig.Topics()); got != want {
+		t.Errorf("reconstructed has %d topics, source %d", got, want)
+	}
+	count := 0
+	if err := r.ReadMessages(rosbag.Query{Topics: []string{workload.TopicIMU}}, func(m rosbag.MessageRef) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int(orig.MessageCount(workload.TopicIMU)); count != want {
+		t.Errorf("imu messages = %d, want %d", count, want)
+	}
+}
+
+func TestFrontEndValidation(t *testing.T) {
+	fs := mountTestFS(t)
+	if _, err := fs.Create("noext"); err == nil {
+		t.Error("non-.bag name accepted")
+	}
+	if _, err := fs.Open("missing.bag"); err == nil {
+		t.Error("missing bag opened")
+	}
+	if _, err := fs.Stat("missing.bag"); err == nil {
+		t.Error("missing bag statted")
+	}
+	if err := fs.Remove("missing.bag"); err == nil {
+		t.Error("missing bag removed")
+	}
+	if _, err := fs.Create(".bag"); err == nil {
+		t.Error("empty base name accepted")
+	}
+}
+
+func TestRemoveThroughFrontEnd(t *testing.T) {
+	fs := mountTestFS(t)
+	src := writeSourceBag(t, t.TempDir())
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("gone.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("gone.bag"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("List after remove = %v", names)
+	}
+}

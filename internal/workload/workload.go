@@ -1,0 +1,214 @@
+// Package workload reproduces the paper's evaluation workloads: the
+// Handheld SLAM bag composition of Table II (seven topics, 98 % image
+// data interleaved with high-rate structured streams) and the four
+// real-world applications of Table III. It provides both paper-scale
+// layout specs (for the cost simulators) and a real synthetic bag writer
+// (for tests, examples and the CLI).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bagio"
+	"repro/internal/layout"
+	"repro/internal/msgs"
+	"repro/internal/rosbag"
+)
+
+// Topic ids of Table II.
+const (
+	TopicDepthImage      = "/camera/depth/image"
+	TopicRGBImage        = "/camera/rgb/image_color"
+	TopicRGBCameraInfo   = "/camera/rgb/camera_info"
+	TopicDepthCameraInfo = "/camera/depth/camera_info"
+	TopicMarkerArray     = "/cortex_marker_array"
+	TopicIMU             = "/imu"
+	TopicTF              = "/tf"
+)
+
+// GB is a decimal gigabyte, matching the paper's size labels.
+const GB = 1_000_000_000
+
+// HandheldSLAMSpecs returns the Table II topic mix. Rates and sizes are
+// derived from the table's message counts and data sizes for the 2.9 GB
+// bag (≈48 s of recording at 30 Hz camera rate): scaling the target size
+// scales duration, preserving the composition.
+func HandheldSLAMSpecs() []layout.TopicSpec {
+	return []layout.TopicSpec{
+		{Name: TopicDepthImage, Type: "sensor_msgs/Image", RateHz: 30, MsgSize: 1_232_000},          // A: 1,429 msgs, 1.64 GB
+		{Name: TopicRGBImage, Type: "sensor_msgs/Image", RateHz: 30, MsgSize: 923_000},              // B: 1,431 msgs, 1.23 GB
+		{Name: TopicRGBCameraInfo, Type: "sensor_msgs/CameraInfo", RateHz: 30, MsgSize: 425},        // C: 1,432 msgs, 594 KB
+		{Name: TopicDepthCameraInfo, Type: "sensor_msgs/CameraInfo", RateHz: 30, MsgSize: 425},      // D: 1,430 msgs, 594 KB
+		{Name: TopicMarkerArray, Type: "visualization_msgs/MarkerArray", RateHz: 302, MsgSize: 580}, // E: 14,487 msgs, 8.4 MB
+		{Name: TopicIMU, Type: "sensor_msgs/Imu", RateHz: 508, MsgSize: 345},                        // F: 24,367 msgs, 8.4 MB
+		{Name: TopicTF, Type: "tf2_msgs/TFMessage", RateHz: 342, MsgSize: 220},                      // G: 16,411 msgs, 3.6 MB
+	}
+}
+
+// App is one of the four real-world applications of Table III.
+type App struct {
+	Name   string
+	Abbrev string
+	Topics []string
+}
+
+// Apps returns the Table III applications. PA's topic set is a
+// deterministic "random pick" (seeded) so experiment rows are stable.
+func Apps() []App {
+	return []App{
+		{Name: "Handheld SLAM", Abbrev: "HS", Topics: []string{TopicDepthImage, TopicRGBImage}},
+		{Name: "Robot SLAM", Abbrev: "RS", Topics: []string{TopicDepthImage, TopicRGBImage, TopicIMU}},
+		{Name: "Dynamic Object", Abbrev: "DO", Topics: []string{TopicTF, TopicRGBImage, TopicRGBCameraInfo, TopicMarkerArray}},
+		{Name: "Pre-analysis Algorithms", Abbrev: "PA", Topics: RandomPick(1)},
+	}
+}
+
+// AppByAbbrev looks an application up by its Table III abbreviation.
+func AppByAbbrev(ab string) (App, error) {
+	for _, a := range Apps() {
+		if a.Abbrev == ab {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: unknown application %q", ab)
+}
+
+// RandomPick returns a deterministic pseudo-random topic subset of the
+// Handheld SLAM mix, modeling the PA application's per-stage topic
+// selection.
+func RandomPick(seed int64) []string {
+	specs := HandheldSLAMSpecs()
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(3) // 2-4 topics per analysis stage
+	perm := rng.Perm(len(specs))
+	out := make([]string, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, specs[i].Name)
+	}
+	return out
+}
+
+// HandheldSLAMBag lays out a Handheld SLAM bag of the given target size
+// (e.g. 2.9*GB, 21*GB, 42*GB).
+func HandheldSLAMBag(targetBytes int64) (*layout.Bag, error) {
+	return layout.Generate(HandheldSLAMSpecs(), targetBytes, 0)
+}
+
+// SyntheticOptions configure the real bag writer.
+type SyntheticOptions struct {
+	// Seconds of recording to synthesize.
+	Seconds int
+	// ScaleDown divides image payload sizes so tests stay small while
+	// preserving the structured/unstructured interleaving. 1 = paper
+	// sizes. Zero selects 1000.
+	ScaleDown int
+	// Seed randomizes payload contents.
+	Seed int64
+	// Writer options passed through to the recorder.
+	Writer rosbag.WriterOptions
+}
+
+func (o *SyntheticOptions) fill() {
+	if o.Seconds <= 0 {
+		o.Seconds = 5
+	}
+	if o.ScaleDown <= 0 {
+		o.ScaleDown = 1000
+	}
+}
+
+// WriteHandheldSLAMBag records a real bag file with the Table II topic
+// mix (optionally scaled down) and returns the number of messages
+// written.
+func WriteHandheldSLAMBag(path string, opts SyntheticOptions) (uint64, error) {
+	opts.fill()
+	w, f, err := rosbag.Create(path, opts.Writer)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	imgBytes := func(size int64) []byte {
+		n := int(size) / opts.ScaleDown
+		if n < 16 {
+			n = 16
+		}
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	base := int64(1_500_000_000) * 1e9 // epoch seconds ≈ 2017
+	specs := HandheldSLAMSpecs()
+	// Emit message arrivals per topic per second, merged by time within
+	// the second (close enough to a true global merge for a recorder).
+	for s := 0; s < opts.Seconds; s++ {
+		secNs := base + int64(s)*1e9
+		for _, spec := range specs {
+			perSec := int(spec.RateHz)
+			for i := 0; i < perSec; i++ {
+				t := bagio.TimeFromNanos(secNs + int64(i)*int64(1e9/float64(perSec)))
+				hdr := msgs.Header{Seq: uint32(s*perSec + i), Stamp: t, FrameID: "/map"}
+				var m msgs.Message
+				switch spec.Type {
+				case "sensor_msgs/Image":
+					m = &msgs.Image{Header: hdr, Height: 480, Width: 640, Encoding: "rgb8", Step: 1920, Data: imgBytes(spec.MsgSize)}
+				case "sensor_msgs/CameraInfo":
+					ci := &msgs.CameraInfo{Header: hdr, Height: 480, Width: 640, DistortionModel: "plumb_bob", D: []float64{rng.NormFloat64(), 0, 0, 0, 0}}
+					ci.K[0] = 525
+					m = ci
+				case "sensor_msgs/Imu":
+					imu := &msgs.Imu{Header: hdr, Orientation: msgs.Identity()}
+					imu.AngularVelocity = msgs.Vector3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+					imu.LinearAcceleration = msgs.Vector3{Z: -9.81 + rng.NormFloat64()*0.01}
+					m = imu
+				case "tf2_msgs/TFMessage":
+					m = &msgs.TFMessage{Transforms: []msgs.TransformStamped{{
+						Header: hdr, ChildFrameID: "/base_link",
+						Transform: msgs.Transform{Translation: msgs.Vector3{X: float64(s) * 0.1}, Rotation: msgs.Identity()},
+					}}}
+				case "visualization_msgs/MarkerArray":
+					m = &msgs.MarkerArray{Markers: []msgs.Marker{{
+						Header: hdr, Namespace: "cortex", ID: int32(i), Type: msgs.MarkerCube,
+						Pose:  msgs.Pose{Orientation: msgs.Identity()},
+						Scale: msgs.Vector3{X: 1, Y: 1, Z: 1}, Color: msgs.ColorRGBA{R: 1, A: 1},
+					}}}
+				default:
+					return 0, fmt.Errorf("workload: unhandled type %s", spec.Type)
+				}
+				if err := w.WriteMsg(spec.Name, t, m); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	n := w.MessageCount()
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// TFStream generates n TF messages for the Fig 2 insertion experiment
+// (49,233 TF messages extracted from a Handheld SLAM bag).
+func TFStream(n int, seed int64) []msgs.TFMessage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]msgs.TFMessage, n)
+	base := int64(1_500_000_000) * 1e9
+	for i := range out {
+		t := bagio.TimeFromNanos(base + int64(i)*3_000_000)
+		out[i] = msgs.TFMessage{Transforms: []msgs.TransformStamped{{
+			Header:       msgs.Header{Seq: uint32(i), Stamp: t, FrameID: "/world"},
+			ChildFrameID: "/kinect",
+			Transform: msgs.Transform{
+				Translation: msgs.Vector3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+				Rotation:    msgs.Identity(),
+			},
+		}}}
+	}
+	return out
+}
+
+// Fig2MessageCount is the paper's Fig 2 insertion workload size.
+const Fig2MessageCount = 49_233

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rosbag"
+)
+
+func TestHandheldSLAMSpecsMatchTableII(t *testing.T) {
+	specs := HandheldSLAMSpecs()
+	if len(specs) != 7 {
+		t.Fatalf("Table II has 7 topics, got %d", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s: %v", s.Name, err)
+		}
+	}
+	bag, err := HandheldSLAMBag(2_900_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: the 2.9 GB bag has ~1,429 depth images and ~24,367 IMU
+	// messages; our steady-rate model should land within 15%.
+	checks := []struct {
+		topic string
+		want  int
+	}{
+		{TopicDepthImage, 1429},
+		{TopicRGBImage, 1431},
+		{TopicRGBCameraInfo, 1432},
+		{TopicMarkerArray, 14487},
+		{TopicIMU, 24367},
+		{TopicTF, 16411},
+	}
+	for _, c := range checks {
+		i := bag.TopicIndex(c.topic)
+		if i < 0 {
+			t.Errorf("topic %s missing", c.topic)
+			continue
+		}
+		got := bag.Topics[i].Count
+		r := float64(got) / float64(c.want)
+		if r < 0.85 || r > 1.15 {
+			t.Errorf("%s: %d messages, Table II says %d (ratio %.2f)", c.topic, got, c.want, r)
+		}
+	}
+	// >98% of the bytes are image data.
+	img := bag.Topics[bag.TopicIndex(TopicDepthImage)].Bytes + bag.Topics[bag.TopicIndex(TopicRGBImage)].Bytes
+	if share := float64(img) / float64(bag.TotalBytes); share < 0.97 {
+		t.Errorf("image byte share = %.3f, Table II implies >0.98", share)
+	}
+}
+
+func TestAppsMatchTableIII(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 4 {
+		t.Fatalf("Table III has 4 applications, got %d", len(apps))
+	}
+	byAb := map[string]App{}
+	for _, a := range apps {
+		byAb[a.Abbrev] = a
+		if len(a.Topics) == 0 {
+			t.Errorf("%s has no topics", a.Abbrev)
+		}
+	}
+	hs := byAb["HS"]
+	if len(hs.Topics) != 2 {
+		t.Errorf("HS topics = %v", hs.Topics)
+	}
+	rs := byAb["RS"]
+	found := false
+	for _, tp := range rs.Topics {
+		if tp == TopicIMU {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("RS must include IMU")
+	}
+	do := byAb["DO"]
+	if len(do.Topics) != 4 {
+		t.Errorf("DO topics = %v", do.Topics)
+	}
+	if _, err := AppByAbbrev("HS"); err != nil {
+		t.Error(err)
+	}
+	if _, err := AppByAbbrev("XX"); err == nil {
+		t.Error("unknown abbrev accepted")
+	}
+}
+
+func TestRandomPickDeterministic(t *testing.T) {
+	a := RandomPick(1)
+	b := RandomPick(1)
+	if len(a) < 2 || len(a) > 4 {
+		t.Errorf("pick size = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomPick not deterministic for equal seeds")
+		}
+	}
+	c := RandomPick(2)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical picks (suspicious)")
+	}
+}
+
+func TestWriteHandheldSLAMBag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hs.bag")
+	n, err := WriteHandheldSLAMBag(path, SyntheticOptions{Seconds: 2, ScaleDown: 2000, Writer: rosbag.WriterOptions{ChunkThreshold: 16 * 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no messages written")
+	}
+	r, f, err := rosbag.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := r.MessageCount(); got != n {
+		t.Errorf("bag has %d messages, writer reported %d", got, n)
+	}
+	topics := r.Topics()
+	if len(topics) != 7 {
+		t.Errorf("bag has %d topics, want 7: %v", len(topics), topics)
+	}
+	// Rates: 2 s at 508 Hz IMU ≈ 1016 messages.
+	if got := r.MessageCount(TopicIMU); got != 1016 {
+		t.Errorf("IMU count = %d, want 1016", got)
+	}
+	if got := r.MessageCount(TopicDepthImage); got != 60 {
+		t.Errorf("depth image count = %d, want 60", got)
+	}
+	// Every message decodes under its declared type.
+	count := 0
+	err = r.ReadMessages(rosbag.Query{Topics: []string{TopicIMU, TopicTF, TopicMarkerArray}}, func(m rosbag.MessageRef) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("no structured messages read back")
+	}
+}
+
+func TestTFStream(t *testing.T) {
+	ms := TFStream(100, 7)
+	if len(ms) != 100 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		a := ms[i-1].Transforms[0].Header.Stamp
+		b := ms[i].Transforms[0].Header.Stamp
+		if !a.Before(b) {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+	if len(ms[0].Transforms) != 1 || ms[0].Transforms[0].ChildFrameID != "/kinect" {
+		t.Error("transform content malformed")
+	}
+	again := TFStream(100, 7)
+	if again[50].Transforms[0].Transform.Translation != ms[50].Transforms[0].Transform.Translation {
+		t.Error("TFStream not deterministic")
+	}
+	if Fig2MessageCount != 49233 {
+		t.Error("Fig2MessageCount drifted from the paper")
+	}
+}
