@@ -150,7 +150,7 @@ func cmdPlay(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("play: exactly one bag path required")
 	}
-	r, f, err := rosbag.Open(fs.Arg(0))
+	r, f, err := rosbag.OpenObs(fs.Arg(0), metricsReg)
 	if err != nil {
 		return err
 	}

@@ -2,13 +2,17 @@
 //
 // Usage:
 //
-//	borabag record -o out.bag -seconds 5 [-scale 1000]
-//	borabag info file.bag
-//	borabag duplicate -backend DIR -name bag1 file.bag
-//	borabag ls -backend DIR
-//	borabag topics -backend DIR -name bag1
-//	borabag query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
-//	borabag export -backend DIR -name bag1 -o out.bag
+//	borabag [-metrics] record -o out.bag -seconds 5 [-scale 1000]
+//	borabag [-metrics] info file.bag
+//	borabag [-metrics] duplicate -backend DIR -name bag1 file.bag
+//	borabag [-metrics] ls -backend DIR
+//	borabag [-metrics] topics -backend DIR -name bag1
+//	borabag [-metrics] query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
+//	borabag [-metrics] export -backend DIR -name bag1 -o out.bag
+//
+// The global -metrics flag prints an observability snapshot (per-op
+// counts, bytes and latency histograms from internal/obs) to stderr
+// after the subcommand finishes.
 package main
 
 import (
@@ -20,46 +24,63 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
 
+// metricsReg is non-nil when the global -metrics flag is set; every
+// subcommand threads it into the stack it drives. Nil keeps the whole
+// obs layer inert.
+var metricsReg *obs.Registry
+
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	// Global flags precede the subcommand.
+	for len(args) > 0 && args[0] == "-metrics" {
+		metricsReg = obs.NewRegistry()
+		args = args[1:]
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "record":
-		err = cmdRecord(os.Args[2:])
+		err = cmdRecord(args[1:])
 	case "info":
-		err = cmdInfo(os.Args[2:])
+		err = cmdInfo(args[1:])
 	case "duplicate":
-		err = cmdDuplicate(os.Args[2:])
+		err = cmdDuplicate(args[1:])
 	case "ls":
-		err = cmdLs(os.Args[2:])
+		err = cmdLs(args[1:])
 	case "topics":
-		err = cmdTopics(os.Args[2:])
+		err = cmdTopics(args[1:])
 	case "query":
-		err = cmdQuery(os.Args[2:])
+		err = cmdQuery(args[1:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		err = cmdExport(args[1:])
 	case "reindex":
-		err = cmdReindex(os.Args[2:])
+		err = cmdReindex(args[1:])
 	case "rebag":
-		err = cmdRebag(os.Args[2:])
+		err = cmdRebag(args[1:])
 	case "verify":
-		err = cmdVerify(os.Args[2:])
+		err = cmdVerify(args[1:])
 	case "baginfo":
-		err = cmdBagInfo(os.Args[2:])
+		err = cmdBagInfo(args[1:])
 	case "play":
-		err = cmdPlay(os.Args[2:])
+		err = cmdPlay(args[1:])
 	case "help", "-h", "--help":
 		usage()
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if metricsReg != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "== obs snapshot ==")
+		metricsReg.Snapshot().WriteText(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "borabag:", err)
@@ -94,7 +115,7 @@ func openBackend(dir string) (*core.BORA, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("-backend is required")
 	}
-	return core.New(dir, core.Options{})
+	return core.New(dir, core.Options{Obs: metricsReg})
 }
 
 func cmdRecord(args []string) error {
@@ -121,7 +142,7 @@ func cmdInfo(args []string) error {
 		return fmt.Errorf("info: exactly one bag path required")
 	}
 	start := time.Now()
-	r, f, err := rosbag.Open(fs.Arg(0))
+	r, f, err := rosbag.OpenObs(fs.Arg(0), metricsReg)
 	if err != nil {
 		return err
 	}
@@ -150,7 +171,7 @@ func cmdDuplicate(args []string) error {
 		}
 		*name = strings.TrimSuffix(base, ".bag")
 	}
-	b, err := core.New(*backend, core.Options{TimeWindow: *window, Workers: *workers})
+	b, err := core.New(*backend, core.Options{TimeWindow: *window, Workers: *workers, Obs: metricsReg})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,12 @@
 //	borabench -list
 //	borabench -exp fig10
 //	borabench -all
+//	borabench -metrics DIR -exp fig10
+//
+// With -metrics DIR, each experiment runs against a fresh obs registry
+// and its snapshot is written to DIR/<id>.obs.json next to the printed
+// table — per-op counts, bytes and log2 latency histograms for every
+// instrumented layer the experiment exercised.
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,12 +47,28 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	exp := fs.String("exp", "", "run one experiment (e.g. fig10, table1)")
 	all := fs.Bool("all", false, "run every experiment")
+	metricsDir := fs.String("metrics", "", "write a <id>.obs.json observability sidecar per experiment to this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: borabench [-list] [-exp <id>] [-all]\n\nexperiments:\n  %s\n",
+		fmt.Fprintf(fs.Output(), "usage: borabench [-list] [-exp <id>] [-all] [-metrics DIR]\n\nexperiments:\n  %s\n",
 			strings.Join(bench.IDs(), "\n  "))
 	}
 	if err := fs.Parse(args); err != nil {
 		return errUsage
+	}
+
+	// runOne executes one experiment, with its own registry when a
+	// sidecar directory was requested so the per-experiment files do not
+	// bleed into each other.
+	runOne := func(id string) (*bench.Table, error) {
+		if *metricsDir == "" {
+			return bench.Run(id)
+		}
+		reg := obs.NewRegistry()
+		t, err := bench.RunObs(id, reg)
+		if werr := writeSidecar(*metricsDir, id, reg); werr != nil && err == nil {
+			err = werr
+		}
+		return t, err
 	}
 
 	switch {
@@ -54,20 +78,41 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	case *exp != "":
-		t, err := bench.Run(*exp)
+		t, err := runOne(*exp)
 		if err != nil {
 			return err
 		}
 		t.Fprint(out)
 		return nil
 	case *all:
-		tables, err := bench.RunAll()
-		for _, t := range tables {
+		for _, id := range bench.IDs() {
+			t, err := runOne(id)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
 			t.Fprint(out)
 		}
-		return err
+		return nil
 	default:
 		fs.Usage()
 		return errUsage
 	}
+}
+
+// writeSidecar dumps one experiment's obs snapshot as JSON. An empty
+// registry (e.g. the experiment id did not resolve, so nothing ran)
+// leaves no file behind.
+func writeSidecar(dir, id string, reg *obs.Registry) error {
+	snap := reg.Snapshot()
+	if len(snap.Counters) == 0 && len(snap.Ops) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".obs.json"), data, 0o644)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pathsim"
 	"repro/internal/rosbag"
 	"repro/internal/simio"
@@ -23,7 +24,7 @@ func init() {
 // runAblationWindow sweeps the coarse time-index window width (DESIGN.md
 // §5): small windows bound time queries tightly but cost more index
 // bytes; large windows over-read at the boundaries.
-func runAblationWindow() (*Table, error) {
+func runAblationWindow(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-window",
 		Title:  "Coarse time-index window width vs time-query cost (21GB bag, 5s query)",
@@ -47,7 +48,7 @@ func runAblationWindow() (*Table, error) {
 
 // runAblationWorkers sweeps the data organizer's worker-pool size over a
 // real on-disk duplication (wall-clock measurement).
-func runAblationWorkers() (*Table, error) {
+func runAblationWorkers(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-workers",
 		Title:  "Data organizer worker pool size vs real duplication time",
@@ -69,7 +70,7 @@ func runAblationWorkers() (*Table, error) {
 		return nil, err
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
-		backend, err := core.New(filepath.Join(dir, fmt.Sprintf("backend%d", workers)), core.Options{Workers: workers})
+		backend, err := core.New(filepath.Join(dir, fmt.Sprintf("backend%d", workers)), core.Options{Workers: workers, Obs: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +89,7 @@ func runAblationWorkers() (*Table, error) {
 // runAblationChunk sweeps the recorder's chunk threshold: smaller chunks
 // mean a longer chunk-info list, which is exactly the baseline's O(N)
 // open cost — BORA's open is independent of it.
-func runAblationChunk() (*Table, error) {
+func runAblationChunk(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-chunk",
 		Title:  "Recorder chunk threshold vs baseline open cost (21GB bag)",

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
@@ -21,7 +22,7 @@ func init() {
 // runAblationRebag compares the two rebagging paths on real files: the
 // stock filter (open + indexed read + full bag re-write) against BORA's
 // container-to-container Rebag.
-func runAblationRebag() (*Table, error) {
+func runAblationRebag(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-rebag",
 		Title:  "Rebagging: stock bag filter vs BORA container-to-container Rebag (real)",
@@ -42,7 +43,7 @@ func runAblationRebag() (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond})
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +111,7 @@ func runAblationRebag() (*Table, error) {
 // runAblationCompression sweeps the recorder's chunk compression on real
 // files: the gz scheme trades write/scan CPU for bytes, which matters
 // because BORA's duplication pass must decompress every chunk once.
-func runAblationCompression() (*Table, error) {
+func runAblationCompression(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-compression",
 		Title:  "Recorder chunk compression: bag size vs duplication cost (real)",
@@ -139,7 +140,7 @@ func runAblationCompression() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		backend, err := core.New(filepath.Join(dir, "backend-"+comp), core.Options{})
+		backend, err := core.New(filepath.Join(dir, "backend-"+comp), core.Options{Obs: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +159,7 @@ func runAblationCompression() (*Table, error) {
 // striped layout on real files: striping spreads each topic over lane
 // files (as a parallel file system would over OSTs) at the cost of
 // per-stripe boundary handling on a single local disk.
-func runAblationStripe() (*Table, error) {
+func runAblationStripe(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-stripe",
 		Title:  "Topic data layout: single file vs striped lanes (real)",
@@ -190,7 +191,7 @@ func runAblationStripe() (*Table, error) {
 	}
 	for _, l := range layouts {
 		backend, err := core.New(filepath.Join(dir, "backend-"+fmt.Sprint(l.stripes)), core.Options{
-			TimeWindow: 500 * time.Millisecond, Stripes: l.stripes,
+			TimeWindow: 500 * time.Millisecond, Stripes: l.stripes, Obs: reg,
 		})
 		if err != nil {
 			return nil, err

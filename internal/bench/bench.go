@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Table is one regenerated experiment artifact.
@@ -61,8 +63,11 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Runner produces one experiment's table.
-type Runner func() (*Table, error)
+// Runner produces one experiment's table. The registry receives the
+// run's metrics — real-I/O experiments thread it into the core stack,
+// simulator experiments record their simulated path durations under
+// pathsim.* — and may be nil to disable recording.
+type Runner func(reg *obs.Registry) (*Table, error)
 
 var registry = map[string]Runner{}
 
@@ -83,13 +88,24 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id without metrics collection.
 func Run(id string) (*Table, error) {
+	return RunObs(id, nil)
+}
+
+// RunObs executes one experiment by id, recording its metrics to reg
+// (nil disables recording). The whole run is wrapped in a bench.<id>
+// span so the sidecar shows wall time and failure next to the per-layer
+// ops.
+func RunObs(id string, reg *obs.Registry) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r()
+	sp := reg.Op("bench." + id).Start()
+	t, err := r(reg)
+	sp.EndErr(err)
+	return t, err
 }
 
 // RunAll executes every experiment in id order.

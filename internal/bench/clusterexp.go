@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pathsim"
 	"repro/internal/swarm"
 	"repro/internal/workload"
@@ -31,7 +32,7 @@ func pvfsPair(bag *layout.Bag, topics []string) (base, bora time.Duration) {
 
 // runFig15 regenerates query-by-topic on the 4-node PVFS cluster:
 // single Handheld SLAM topics (a, b) and the four applications (c, d).
-func runFig15() (*Table, error) {
+func runFig15(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "Query time by topics on a 4-node PVFS cluster",
@@ -63,7 +64,7 @@ func runFig15() (*Table, error) {
 
 // runFig16 regenerates query by one topic + start–end time on PVFS with
 // the 42 GB bag.
-func runFig16() (*Table, error) {
+func runFig16(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig16",
 		Title:  "Query time by one topic and start-end time, Handheld SLAM 42GB, PVFS cluster",
@@ -97,7 +98,7 @@ func runFig16() (*Table, error) {
 // runFig17 regenerates the robotic-swarm comparison on the Tianhe-1A
 // Lustre model: 10/50/100 robots × 21/42 GB bags, Robot SLAM extraction,
 // reporting open and query times separately as the paper does.
-func runFig17() (*Table, error) {
+func runFig17(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig17",
 		Title:  "Robotic swarm query on Tianhe-1A Lustre (Robot SLAM extraction)",
@@ -123,7 +124,7 @@ func runFig17() (*Table, error) {
 }
 
 // runFig18 regenerates the swarm topic + time-range queries.
-func runFig18() (*Table, error) {
+func runFig18(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig18",
 		Title:  "Robotic swarm query by topics and start-end times on Tianhe-1A Lustre",

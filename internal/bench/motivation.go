@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dbsim"
+	"repro/internal/obs"
 	"repro/internal/pathsim"
 	"repro/internal/plfsim"
 	"repro/internal/simio"
@@ -22,7 +23,7 @@ func init() {
 // the real tag manager, not a simulator) the on-the-fly construction
 // cost and footprint of the tag manager's hash table as the topic count
 // grows from 10 to 100,000.
-func runTable1() (*Table, error) {
+func runTable1(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "table1",
 		Title:  "Time and space costs to construct the tag manager hash table",
@@ -82,7 +83,7 @@ func runTable1() (*Table, error) {
 // runFig2 regenerates the message-insertion comparison: 49,233 TF
 // messages into a bag-style append file versus the three mini-DBMS
 // engines.
-func runFig2() (*Table, error) {
+func runFig2(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig2",
 		Title:  "Message insertion: Ext4 bag append vs DBMS engines (49,233 TF messages)",
@@ -116,7 +117,7 @@ func runFig2() (*Table, error) {
 
 // runFig3 regenerates the PLFS motivation comparison: bag writes at
 // several sizes (a) and a topic read from the 2.9 GB bag (b).
-func runFig3() (*Table, error) {
+func runFig3(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "PLFS vs native file systems: bag write (a) and topic read (b)",

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
@@ -22,7 +23,7 @@ func init() {
 // recording, for the by-topic and topics+time query classes. It
 // demonstrates that the direction of every simulated result holds on
 // real hardware, independent of the cost model.
-func runValidateReal() (*Table, error) {
+func runValidateReal(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "validate-real",
 		Title:  "Real wall-clock cross-check: stock rosbag path vs BORA core (scaled-down bag)",
@@ -44,7 +45,7 @@ func runValidateReal() (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond})
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: 500 * time.Millisecond, Obs: reg})
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/pathsim"
 	"repro/internal/simio"
 	"repro/internal/workload"
@@ -13,8 +14,8 @@ import (
 func init() {
 	register("fig9", runFig9)
 	register("fig10", runFig10)
-	register("fig11", func() (*Table, error) { return runAppsQuery("fig11", 2_900_000_000) })
-	register("fig12", func() (*Table, error) { return runAppsQuery("fig12", 21_000_000_000) })
+	register("fig11", func(reg *obs.Registry) (*Table, error) { return runAppsQuery("fig11", 2_900_000_000, reg) })
+	register("fig12", func(reg *obs.Registry) (*Table, error) { return runAppsQuery("fig12", 21_000_000_000, reg) })
 	register("fig13", runFig13)
 	register("fig14", runFig14)
 }
@@ -34,7 +35,7 @@ var topicByID = map[string]string{
 
 // runFig9 regenerates the bag-duplication comparison: native copies vs
 // the BORA initial capture vs BORA-to-BORA copies, on Ext4 and XFS.
-func runFig9() (*Table, error) {
+func runFig9(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "Write time of bags with distinct sizes (duplication)",
@@ -68,20 +69,26 @@ func runFig9() (*Table, error) {
 	return t, nil
 }
 
-// queryPair runs open+query on both paths over a local profile.
-func queryPair(p simio.Profile, bag *layout.Bag, topics []string) (base, bora time.Duration) {
+// queryPair runs open+query on both paths over a local profile. The
+// simulated path durations are recorded to reg under pathsim.* — these
+// are virtual-clock times, not host latency, so they are Observed rather
+// than span-timed.
+func queryPair(p simio.Profile, bag *layout.Bag, topics []string, reg *obs.Registry) (base, bora time.Duration) {
 	be := simio.NewLocalEnv(p)
 	pathsim.BaselineOpen(be, bag)
 	pathsim.BaselineQueryTopics(be, bag, topics)
 	bo := simio.NewLocalEnv(p)
 	pathsim.BoraOpen(bo, bag)
 	pathsim.BoraQueryTopics(bo, bag, topics)
-	return be.Clock().Elapsed(), bo.Clock().Elapsed()
+	base, bora = be.Clock().Elapsed(), bo.Clock().Elapsed()
+	reg.Op("pathsim.baseline_query").Observe(base, bag.TotalBytes)
+	reg.Op("pathsim.bora_query").Observe(bora, bag.TotalBytes)
+	return base, bora
 }
 
 // runFig10 regenerates query-by-topic on the single-node server for the
 // four bag sizes of Fig 10 and topics A, B, C, E, F.
-func runFig10() (*Table, error) {
+func runFig10(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Query time by topic, Handheld SLAM bags, single-node server (Ext4)",
@@ -96,7 +103,7 @@ func runFig10() (*Table, error) {
 			return nil, err
 		}
 		for _, id := range []string{"A", "B", "C", "E", "F"} {
-			base, bora := queryPair(simio.SingleNodeSSD(), bag, []string{topicByID[id]})
+			base, bora := queryPair(simio.SingleNodeSSD(), bag, []string{topicByID[id]}, reg)
 			t.Rows = append(t.Rows, []string{
 				fmtGB(size), id, fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
 			})
@@ -107,7 +114,7 @@ func runFig10() (*Table, error) {
 
 // runAppsQuery regenerates Figs 11 (small bag) and 12 (large bag): the
 // four Table III applications on Ext4 and XFS.
-func runAppsQuery(id string, size int64) (*Table, error) {
+func runAppsQuery(id string, size int64, reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("Query time by topics, four applications, %s bag, single-node server", fmtGB(size)),
@@ -122,7 +129,7 @@ func runAppsQuery(id string, size int64) (*Table, error) {
 	}
 	for _, app := range workload.Apps() {
 		for _, p := range []simio.Profile{simio.SingleNodeSSD(), simio.SingleNodeXFS()} {
-			base, bora := queryPair(p, bag, app.Topics)
+			base, bora := queryPair(p, bag, app.Topics, reg)
 			t.Rows = append(t.Rows, []string{
 				app.Abbrev, p.Dev.Name, fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
 			})
@@ -131,15 +138,19 @@ func runAppsQuery(id string, size int64) (*Table, error) {
 	return t, nil
 }
 
-// timeQueryPair runs open + (topics, start–end) query on both paths.
-func timeQueryPair(p simio.Profile, bag *layout.Bag, topics []string, startNs, endNs int64) (base, bora time.Duration) {
+// timeQueryPair runs open + (topics, start–end) query on both paths,
+// recording the simulated durations like queryPair.
+func timeQueryPair(p simio.Profile, bag *layout.Bag, topics []string, startNs, endNs int64, reg *obs.Registry) (base, bora time.Duration) {
 	be := simio.NewLocalEnv(p)
 	pathsim.BaselineOpen(be, bag)
 	pathsim.BaselineQueryTime(be, bag, topics, startNs, endNs)
 	bo := simio.NewLocalEnv(p)
 	pathsim.BoraOpen(bo, bag)
 	pathsim.BoraQueryTime(bo, bag, topics, startNs, endNs, simWindow)
-	return be.Clock().Elapsed(), bo.Clock().Elapsed()
+	base, bora = be.Clock().Elapsed(), bo.Clock().Elapsed()
+	reg.Op("pathsim.baseline_query_time").Observe(base, bag.TotalBytes)
+	reg.Op("pathsim.bora_query_time").Observe(bora, bag.TotalBytes)
+	return base, bora
 }
 
 // stairSteps yields the Fig 13/14 stair-step end times: fixed start,
@@ -158,7 +169,7 @@ func stairSteps(bag *layout.Bag) []int64 {
 
 // runFig13 regenerates query by one topic + start–end time on the 21 GB
 // bag.
-func runFig13() (*Table, error) {
+func runFig13(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Query time by one topic and start-end time, Handheld SLAM 21GB, single node",
@@ -173,7 +184,7 @@ func runFig13() (*Table, error) {
 	}
 	for _, id := range []string{"A", "B", "C", "F"} {
 		for _, end := range stairSteps(bag) {
-			base, bora := timeQueryPair(simio.SingleNodeSSD(), bag, []string{topicByID[id]}, 0, end)
+			base, bora := timeQueryPair(simio.SingleNodeSSD(), bag, []string{topicByID[id]}, 0, end, reg)
 			t.Rows = append(t.Rows, []string{
 				id, fmtDur(time.Duration(end)), fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
 			})
@@ -183,7 +194,7 @@ func runFig13() (*Table, error) {
 }
 
 // runFig14 regenerates query by application topics + start–end time.
-func runFig14() (*Table, error) {
+func runFig14(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "fig14",
 		Title:  "Query time by topics and start-end time, four applications, single node",
@@ -198,7 +209,7 @@ func runFig14() (*Table, error) {
 	}
 	for _, app := range workload.Apps() {
 		for _, end := range stairSteps(bag) {
-			base, bora := timeQueryPair(simio.SingleNodeSSD(), bag, app.Topics, 0, end)
+			base, bora := timeQueryPair(simio.SingleNodeSSD(), bag, app.Topics, 0, end, reg)
 			t.Rows = append(t.Rows, []string{
 				app.Abbrev, fmtDur(time.Duration(end)), fmtDur(base), fmtDur(bora), fmtRatio(base, bora),
 			})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -15,7 +16,7 @@ func init() {
 
 // runTable2 regenerates the 2.9 GB Handheld SLAM bag composition and
 // compares it against the paper's Table II row by row.
-func runTable2() (*Table, error) {
+func runTable2(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "table2",
 		Title:  "Data organization of a 2.9 GB bag (synthetic vs paper)",
@@ -69,7 +70,7 @@ func fmtBytes(b int64) string {
 }
 
 // runTable3 lists the four applications' required topic sets.
-func runTable3() (*Table, error) {
+func runTable3(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "table3",
 		Title:  "Required topics in each real-world application",
@@ -83,7 +84,7 @@ func runTable3() (*Table, error) {
 
 // runTable4 reproduces the qualitative middleware comparison, with this
 // repository's implementations cited where they exist.
-func runTable4() (*Table, error) {
+func runTable4(reg *obs.Registry) (*Table, error) {
 	t := &Table{
 		ID:     "table4",
 		Title:  "I/O middleware system comparison",

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 	"repro/internal/stripe"
 )
 
@@ -84,6 +85,27 @@ func DecodeTopicDir(dir string) string {
 type Container struct {
 	root   string
 	topics map[string]*Topic // keyed by topic name
+
+	indexLoadOp *obs.Op // container.index_load: lazy index-file parses
+	readOp      *obs.Op // container.read: per-message payload reads
+}
+
+// SetObs routes the container's metrics (index loads, per-message data
+// reads) to reg; existing and later-created topics inherit it. A nil
+// registry (the default) disables recording.
+func (c *Container) SetObs(reg *obs.Registry) {
+	c.indexLoadOp = reg.Op("container.index_load")
+	c.readOp = reg.Op("container.read")
+	for _, t := range c.topics {
+		t.indexLoadOp = c.indexLoadOp
+	}
+}
+
+// NoteReads records a batch of message payload reads under
+// container.read. Read loops accumulate locally and flush once per
+// stream so the per-message hot path stays free of atomics.
+func (c *Container) NoteReads(n, bytes int64) {
+	c.readOp.Add(n, bytes)
 }
 
 // Topic is one topic sub-directory of a container. Topics are safe for
@@ -94,6 +116,8 @@ type Topic struct {
 	conn       *bagio.Connection
 	stripes    int // >1 when the data file is striped across lanes
 	stripeSize int64
+
+	indexLoadOp *obs.Op
 
 	mu      sync.Mutex
 	entries []IndexEntry
@@ -243,7 +267,8 @@ func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (
 	if err := os.WriteFile(filepath.Join(dir, ConnFileName), h.Encode(), 0o644); err != nil {
 		return nil, err
 	}
-	t := &Topic{dir: dir, topic: conn.Topic, conn: conn, loaded: true}
+	t := &Topic{dir: dir, topic: conn.Topic, conn: conn, loaded: true,
+		indexLoadOp: c.indexLoadOp}
 	tw := &TopicWriter{topic: t, crc: crc32.New(crcTable)}
 	if opts.Stripes > 1 {
 		t.stripes = opts.Stripes
@@ -339,18 +364,24 @@ func (t *Topic) Entries() ([]IndexEntry, error) {
 	if t.loaded {
 		return t.entries, nil
 	}
+	sp := t.indexLoadOp.Start()
 	buf, err := os.ReadFile(filepath.Join(t.dir, IndexFileName))
 	if err != nil {
-		return nil, fmt.Errorf("container: read index of %q: %w", t.topic, err)
+		err = fmt.Errorf("container: read index of %q: %w", t.topic, err)
+		sp.EndErr(err)
+		return nil, err
 	}
 	if len(buf)%IndexEntrySize != 0 {
-		return nil, fmt.Errorf("container: index of %q has %d bytes, not a multiple of %d", t.topic, len(buf), IndexEntrySize)
+		err = fmt.Errorf("container: index of %q has %d bytes, not a multiple of %d", t.topic, len(buf), IndexEntrySize)
+		sp.EndErr(err)
+		return nil, err
 	}
 	t.entries = make([]IndexEntry, len(buf)/IndexEntrySize)
 	for i := range t.entries {
 		t.entries[i] = decodeIndexEntry(buf[i*IndexEntrySize:])
 	}
 	t.loaded = true
+	sp.EndBytes(int64(len(buf)))
 	return t.entries, nil
 }
 
@@ -403,7 +434,10 @@ func (t *Topic) OpenData() (DataReader, error) {
 	return os.Open(filepath.Join(t.dir, DataFileName))
 }
 
-// ReadMessage reads the payload for one index entry.
+// ReadMessage reads the payload for one index entry. It records nothing
+// itself — even an untimed atomic add per message is measurable against
+// a page-cache hit — so streaming callers batch their totals into
+// NoteReads when a read loop finishes.
 func (t *Topic) ReadMessage(r io.ReaderAt, e IndexEntry) ([]byte, error) {
 	buf := make([]byte, e.Length)
 	if _, err := r.ReadAt(buf, int64(e.PhysicalOffset)); err != nil {

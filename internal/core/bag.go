@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/container"
+	"repro/internal/obs"
 	"repro/internal/rosbag"
 	"repro/internal/tagman"
 	"repro/internal/timeindex"
@@ -34,6 +35,28 @@ type MessageRef struct {
 	Data []byte
 }
 
+// bagObs holds the pre-resolved obs handles for a bag's query paths;
+// all fields are nil (no-op) when observability is off.
+type bagObs struct {
+	read         *obs.Op // core.read: full-topic query (Fig 7)
+	readTime     *obs.Op // core.read_time: topics + time range (Fig 8)
+	readChrono   *obs.Op // core.read_chrono: k-way chronological merge
+	readParallel *obs.Op // core.read_parallel: concurrent per-topic streams
+	readTopic    *obs.Op // core.read_topic: one topic's sequential stream
+	export       *obs.Op // core.export: container -> standard bag stream
+}
+
+func newBagObs(reg *obs.Registry) bagObs {
+	return bagObs{
+		read:         reg.Op("core.read"),
+		readTime:     reg.Op("core.read_time"),
+		readChrono:   reg.Op("core.read_chrono"),
+		readParallel: reg.Op("core.read_parallel"),
+		readTopic:    reg.Op("core.read_topic"),
+		export:       reg.Op("core.export"),
+	}
+}
+
 // Bag is an open logical bag backed by a BORA container. A Bag is safe
 // for concurrent queries: the stats counters and the lazily loaded time
 // indexes are guarded by an internal mutex.
@@ -42,6 +65,7 @@ type Bag struct {
 	c    *container.Container
 	tags *tagman.Table
 	opts Options
+	ops  bagObs
 
 	mu      sync.Mutex
 	stats   Stats
@@ -137,7 +161,9 @@ func (bag *Bag) resolve(topics []string) ([]*container.Topic, error) {
 // grouped by topic (in the order requested), each topic in timestamp
 // order — the layout-friendly order that gives sequential access on the
 // underlying device.
-func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
+func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) (err error) {
+	sp := bag.ops.read.Start()
+	defer func() { sp.EndErr(err) }()
 	resolved, err := bag.resolve(topics)
 	if err != nil {
 		return err
@@ -151,9 +177,18 @@ func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
 }
 
 // readTopicRange streams one topic's messages within [start, end].
-func (bag *Bag) readTopicRange(t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) error {
+func (bag *Bag) readTopicRange(t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+	sp := bag.ops.readTopic.Start()
 	var d Stats
-	defer func() { bag.addStats(d) }()
+	defer func() {
+		bag.addStats(d)
+		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+		if err != nil {
+			sp.EndErr(err)
+		} else {
+			sp.EndBytes(d.BytesRead)
+		}
+	}()
 	entries, err := t.Entries()
 	if err != nil {
 		return err
@@ -248,7 +283,9 @@ func (bag *Bag) timeIndex(t *container.Topic) (*timeindex.Index, error) {
 // time (Fig 8): the coarse-grain time index reduces each topic's scan to
 // the windows overlapping [start, end] before the fine-grain timestamp
 // filter.
-func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+	sp := bag.ops.readTime.Start()
+	defer func() { sp.EndErr(err) }()
 	if end.IsZero() {
 		end = bagio.MaxTime
 	}
@@ -295,7 +332,9 @@ func (h *mergeHeap) Pop() interface{} {
 // timestamp order, merging the per-topic streams through a k-way heap.
 // It exists for consumers (e.g. SLAM replays) that need cross-topic
 // chronology; pure extraction workloads should prefer ReadMessages.
-func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+	sp := bag.ops.readChrono.Start()
+	defer func() { sp.EndErr(err) }()
 	if end.IsZero() {
 		end = bagio.MaxTime
 	}
@@ -304,7 +343,10 @@ func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn fu
 		return err
 	}
 	var d Stats
-	defer func() { bag.addStats(d) }()
+	defer func() {
+		bag.addStats(d)
+		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+	}()
 	var h mergeHeap
 	defer func() {
 		for _, it := range h {
@@ -368,7 +410,9 @@ func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn fu
 // Export reconstructs a standard bag file from the container so the bag
 // can be shared with machines that do not run BORA ("bag is a file").
 // Messages are written in chronological order.
-func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) error {
+func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) (err error) {
+	sp := bag.ops.export.Start()
+	defer func() { sp.EndErr(err) }()
 	w, err := rosbag.NewWriter(ws, opts)
 	if err != nil {
 		return err

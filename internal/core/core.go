@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/container"
+	"repro/internal/obs"
 	"repro/internal/organizer"
 	"repro/internal/rosbag"
 	"repro/internal/tagman"
@@ -49,6 +50,11 @@ type Options struct {
 	// StripeSize is the lane stripe width when Stripes > 1; zero selects
 	// the stripe default.
 	StripeSize int64
+	// Obs receives op-level metrics (latency, bytes, error counts) from
+	// every layer this instance touches: core operations, the organizer
+	// pool, container index/data access, and the front ends mounted on
+	// this back end. Nil disables recording at near-zero cost.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -75,6 +81,10 @@ func New(dir string, opts Options) (*BORA, error) {
 
 // Root returns the back-end directory.
 func (b *BORA) Root() string { return b.root }
+
+// Obs returns the observability registry this instance records to (nil
+// when observability is off). Front ends share it via this accessor.
+func (b *BORA) Obs() *obs.Registry { return b.opts.Obs }
 
 // List returns the names of the logical bags present on the back end.
 func (b *BORA) List() ([]string, error) {
@@ -154,10 +164,13 @@ func (b *BORA) Duplicate(bagPath, name string) (*Bag, DuplicateStats, error) {
 
 // DuplicateFrom is Duplicate reading from an arbitrary source.
 func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, DuplicateStats, error) {
+	sp := b.opts.Obs.Op("core.duplicate").Start()
 	c, err := container.Create(filepath.Join(b.root, name))
 	if err != nil {
+		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
 	}
+	c.SetObs(b.opts.Obs)
 	dist := organizer.New(func(conn *bagio.Connection) (organizer.TopicSink, error) {
 		tw, err := c.CreateTopicOpts(conn, container.TopicOptions{Stripes: b.opts.Stripes, StripeSize: b.opts.StripeSize})
 		if err != nil {
@@ -168,22 +181,28 @@ func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, Dupl
 			return nil, err
 		}
 		return &topicSink{tw: tw, tix: timeindex.New(b.opts.TimeWindow), dir: dir}, nil
-	}, organizer.Options{Workers: b.opts.Workers})
+	}, organizer.Options{Workers: b.opts.Workers, Obs: b.opts.Obs})
 
-	scanErr := rosbag.Scan(r, size, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
+	scanErr := rosbag.ScanObs(r, size, b.opts.Obs, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
 		return dist.Dispatch(conn, t, data)
 	})
 	stats, distErr := dist.Close()
 	if scanErr != nil {
-		return nil, DuplicateStats{}, fmt.Errorf("bora: duplicate scan: %w", scanErr)
+		err := fmt.Errorf("bora: duplicate scan: %w", scanErr)
+		sp.EndErr(err)
+		return nil, DuplicateStats{}, err
 	}
 	if distErr != nil {
-		return nil, DuplicateStats{}, fmt.Errorf("bora: duplicate distribute: %w", distErr)
+		err := fmt.Errorf("bora: duplicate distribute: %w", distErr)
+		sp.EndErr(err)
+		return nil, DuplicateStats{}, err
 	}
 	bag, err := b.Open(name)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
 	}
+	sp.EndBytes(stats.Bytes)
 	return bag, DuplicateStats{Messages: stats.Messages, Bytes: stats.Bytes, Topics: stats.Topics}, nil
 }
 
@@ -238,22 +257,28 @@ func copyTree(src, dst string) error {
 // the container's sub-directories and build the tag manager's hash table
 // on the fly. No data or index file is touched.
 func (b *BORA) Open(name string) (*Bag, error) {
+	sp := b.opts.Obs.Op("core.open").Start()
 	c, err := container.Open(filepath.Join(b.root, name))
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
+	c.SetObs(b.opts.Obs)
 	paths := map[string]string{}
 	for _, topic := range c.Topics() {
 		p, err := c.TopicPath(topic)
 		if err != nil {
+			sp.EndErr(err)
 			return nil, err
 		}
 		paths[topic] = p
 	}
+	sp.End()
 	return &Bag{
 		name: name,
 		c:    c,
 		tags: tagman.Build(paths),
 		opts: b.opts,
+		ops:  newBagObs(b.opts.Obs),
 	}, nil
 }

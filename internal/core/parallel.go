@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bagio"
 )
@@ -30,7 +32,18 @@ func (bag *Bag) ReadMessagesTimeParallel(topics []string, start, end bagio.Time,
 	return bag.readParallel(topics, start, end, workers, fn)
 }
 
-func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) error {
+// errReadCancelled aborts a topic stream whose run has already failed;
+// it never escapes readParallel.
+var errReadCancelled = errors.New("core: parallel read cancelled")
+
+// readParallel fans the per-topic streams out over a worker pool and
+// fails fast: the first error stops dispatch of unstarted topics and
+// cancels in-flight topic reads at their next message, so a poisoned
+// topic cannot force the remaining topics to stream in full (nor fn to
+// keep firing) before the error surfaces.
+func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
+	sp := bag.ops.readParallel.Start()
+	defer func() { sp.EndErr(err) }()
 	resolved, err := bag.resolve(topics)
 	if err != nil {
 		return err
@@ -49,27 +62,46 @@ func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int
 		}
 		return nil
 	}
+	var (
+		stop     atomic.Bool
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	// Cancellation check on every delivery: once a topic fails, in-flight
+	// streams stop at their next message instead of draining in full.
+	guarded := func(m MessageRef) error {
+		if stop.Load() {
+			return errReadCancelled
+		}
+		return fn(m)
+	}
 	work := make(chan int)
-	errs := make([]error, len(resolved))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				errs[i] = bag.readTopicRange(resolved[i], start, end, fn)
+				if stop.Load() {
+					continue
+				}
+				if err := bag.readTopicRange(resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
+					fail(err)
+				}
 			}
 		}()
 	}
 	for i := range resolved {
+		if stop.Load() {
+			break
+		}
 		work <- i
 	}
 	close(work)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstErr
 }

@@ -1,0 +1,249 @@
+// Package obs is BORA's unified observability layer: a stdlib-only
+// metrics and lightweight-tracing substrate for the hot paths whose op
+// counts the paper's evaluation argues about (seeks, sequential bytes,
+// metadata round trips — Figs 9–18). It follows the "multipurpose
+// low-overhead tracing" philosophy of ros2_tracing: instrumentation is
+// always compiled in, near-free when disabled, and cheap enough to leave
+// on in production.
+//
+// The design is global-free: callers create a *Registry and thread it
+// through options structs. A nil *Registry (and every instrument handle
+// obtained from one) is valid and turns all recording into no-ops, so
+// packages instrument unconditionally and pay only a nil check when
+// observability is off.
+//
+// Two instrument kinds exist:
+//
+//   - Counter — a monotonically increasing atomic int64.
+//   - Op — a named operation accumulating call count, error count, byte
+//     volume, and a log₂-bucketed latency histogram. Latency is recorded
+//     through value-type Spans (obs.Start("core.duplicate") ... sp.End())
+//     or via Observe for externally measured durations (e.g. the virtual
+//     clocks of internal/simio).
+//
+// Snapshot freezes a registry into an inert, encodable value with JSON
+// and aligned-text renderings; cmd/borabag's -metrics flag and
+// cmd/borabench's per-experiment sidecars are thin wrappers over it.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log₂ latency buckets an Op keeps. Bucket i
+// holds durations d with bits.Len64(d ns) == i, i.e. bucket 0 is exactly
+// 0ns and bucket i≥1 spans [2^(i-1), 2^i) ns; 64 buckets cover every
+// representable duration.
+const NumBuckets = 65
+
+// Registry holds named instruments. Create one with NewRegistry; a nil
+// *Registry is a valid no-op sink. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	ops      map[string]*Op
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		ops:      map[string]*Op{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns nil, which is itself a valid no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Op returns the named operation, creating it on first use. On a nil
+// registry it returns nil, which is itself a valid no-op operation.
+func (r *Registry) Op(name string) *Op {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	o, ok := r.ops[name]
+	r.mu.RUnlock()
+	if ok {
+		return o
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o, ok = r.ops[name]; ok {
+		return o
+	}
+	o = newOp()
+	r.ops[name] = o
+	return o
+}
+
+// Start begins a span on the named operation; shorthand for
+// r.Op(name).Start(). Hot paths should resolve the *Op once and call
+// Start on the handle instead.
+func (r *Registry) Start(name string) Span {
+	return r.Op(name).Start()
+}
+
+// Counter is a monotonically increasing atomic counter. The nil
+// *Counter records nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Op accumulates metrics for one named operation: how often it ran, how
+// often it failed, how many payload bytes it moved, and how long it took
+// (sum, min, max, and a log₂ histogram). The nil *Op records nothing.
+// Count may exceed the histogram total when events are recorded through
+// Add (counted but untimed).
+type Op struct {
+	count   atomic.Int64
+	errs    atomic.Int64
+	bytes   atomic.Int64
+	durSum  atomic.Int64 // nanoseconds
+	durMin  atomic.Int64 // nanoseconds; MaxInt64 until first timed event
+	durMax  atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Int64
+}
+
+func newOp() *Op {
+	o := &Op{}
+	o.durMin.Store(math.MaxInt64)
+	return o
+}
+
+// Start begins a span on o. On a nil Op the returned zero Span is a
+// no-op and no clock is read.
+func (o *Op) Start() Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{op: o, start: time.Now()}
+}
+
+// Observe records one completed event with an externally measured
+// duration and byte volume.
+func (o *Op) Observe(d time.Duration, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.record(d, bytes, false)
+}
+
+// Add records n untimed events moving bytes payload bytes — for per-item
+// hot paths (e.g. per-message container reads) where even two clock
+// reads per event would be measurable.
+func (o *Op) Add(n, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.count.Add(n)
+	if bytes != 0 {
+		o.bytes.Add(bytes)
+	}
+}
+
+func (o *Op) record(d time.Duration, bytes int64, failed bool) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	o.count.Add(1)
+	if failed {
+		o.errs.Add(1)
+	}
+	if bytes != 0 {
+		o.bytes.Add(bytes)
+	}
+	o.durSum.Add(ns)
+	o.buckets[bits.Len64(uint64(ns))].Add(1)
+	for {
+		cur := o.durMin.Load()
+		if ns >= cur || o.durMin.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := o.durMax.Load()
+		if ns <= cur || o.durMax.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Span is an in-flight timed operation. The zero Span (from a nil Op or
+// Registry) is a valid no-op. Spans are values: copy them freely, end
+// them exactly once.
+type Span struct {
+	op    *Op
+	start time.Time
+}
+
+// End records the span with no payload bytes.
+func (s Span) End() { s.EndBytes(0) }
+
+// EndBytes records the span together with the payload bytes it moved.
+func (s Span) EndBytes(bytes int64) {
+	if s.op == nil {
+		return
+	}
+	s.op.record(time.Since(s.start), bytes, false)
+}
+
+// EndErr records the span, counting it as failed when err is non-nil.
+func (s Span) EndErr(err error) {
+	if s.op == nil {
+		return
+	}
+	s.op.record(time.Since(s.start), 0, err != nil)
+}
+
+// BucketLow returns the inclusive lower bound (in nanoseconds) of
+// histogram bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}

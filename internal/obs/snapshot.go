@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a frozen, inert copy of a registry's instruments, suitable
+// for encoding. Taking a snapshot does not reset the registry.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Ops      map[string]OpSnapshot `json:"ops,omitempty"`
+}
+
+// OpSnapshot is the frozen state of one Op.
+type OpSnapshot struct {
+	Count   int64    `json:"count"`
+	Errors  int64    `json:"errors,omitempty"`
+	Bytes   int64    `json:"bytes,omitempty"`
+	TotalNs int64    `json:"total_ns,omitempty"`
+	MinNs   int64    `json:"min_ns,omitempty"`
+	MaxNs   int64    `json:"max_ns,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one populated log₂ latency bucket: Count events fell in
+// [LowNs, 2*LowNs) — or exactly 0ns for the LowNs == 0 bucket.
+type Bucket struct {
+	LowNs int64 `json:"low_ns"`
+	Count int64 `json:"count"`
+}
+
+// Timed returns the number of events that carried a duration (the
+// histogram total); Count-Timed events were recorded through Add.
+func (o OpSnapshot) Timed() int64 {
+	var n int64
+	for _, b := range o.Buckets {
+		n += b.Count
+	}
+	return n
+}
+
+// Mean returns the mean duration of timed events (0 when none).
+func (o OpSnapshot) Mean() time.Duration {
+	timed := o.Timed()
+	if timed == 0 {
+		return 0
+	}
+	return time.Duration(o.TotalNs / timed)
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Load()
+		}
+	}
+	if len(r.ops) > 0 {
+		snap.Ops = make(map[string]OpSnapshot, len(r.ops))
+		for name, o := range r.ops {
+			snap.Ops[name] = o.snapshot()
+		}
+	}
+	return snap
+}
+
+func (o *Op) snapshot() OpSnapshot {
+	s := OpSnapshot{
+		Count:   o.count.Load(),
+		Errors:  o.errs.Load(),
+		Bytes:   o.bytes.Load(),
+		TotalNs: o.durSum.Load(),
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LowNs: BucketLow(i), Count: n})
+		}
+	}
+	if len(s.Buckets) > 0 { // at least one timed event
+		s.MinNs = o.durMin.Load()
+		s.MaxNs = o.durMax.Load()
+	}
+	return s
+}
+
+// JSON encodes the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteText renders the snapshot as aligned human-readable text: one
+// line per op (count, errors, bytes, total/mean/min/max latency), the
+// populated histogram buckets indented beneath it, then the counters.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := s.Ops[name]
+		if _, err := fmt.Fprintf(w, "%-28s count %8d", name, o.Count); err != nil {
+			return err
+		}
+		if o.Errors > 0 {
+			fmt.Fprintf(w, "  errors %d", o.Errors)
+		}
+		if o.Bytes > 0 {
+			fmt.Fprintf(w, "  bytes %d", o.Bytes)
+		}
+		if timed := o.Timed(); timed > 0 {
+			fmt.Fprintf(w, "  total %v  mean %v  min %v  max %v",
+				time.Duration(o.TotalNs), o.Mean(),
+				time.Duration(o.MinNs), time.Duration(o.MaxNs))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, b := range o.Buckets {
+			if _, err := fmt.Fprintf(w, "    [%10v, %10v)  %d\n",
+				time.Duration(b.LowNs), time.Duration(nextBucketLow(b.LowNs)), b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	names = names[:0]
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-28s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nextBucketLow(low int64) int64 {
+	if low == 0 {
+		return 1
+	}
+	return low * 2
+}

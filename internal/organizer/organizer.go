@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 )
 
 // TopicSink receives one topic's messages in order. Implementations are
@@ -29,6 +30,12 @@ type Options struct {
 	Workers int
 	// QueueDepth is the per-worker channel depth. Zero selects 64.
 	QueueDepth int
+	// Obs receives the pipeline's metrics: organizer.dispatch (scanner-side
+	// routing latency), organizer.enqueue_stall (time spent blocked on a
+	// full worker queue), organizer.append (worker-side sink latency), and
+	// the organizer.dropped_messages/_bytes counters. Nil disables
+	// recording.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -43,16 +50,22 @@ func (o *Options) fill() {
 	}
 }
 
-// Stats summarizes a distribution run.
+// Stats summarizes a distribution run. Messages, Bytes and PerTopic
+// count messages actually appended to their sinks; once a sink failure
+// flips the pipeline into drain mode, later items are counted in
+// Dropped instead, so Close never reports more work than reached the
+// back end.
 type Stats struct {
 	Messages int64
 	Bytes    int64
 	Topics   int
+	Dropped  int64 // dispatched but never appended (failed or drained)
 	PerTopic map[string]int64
 }
 
 type workItem struct {
 	sink    TopicSink
+	topic   string
 	time    bagio.Time
 	payload []byte
 }
@@ -66,8 +79,15 @@ type Distributor struct {
 	wg      sync.WaitGroup
 	errMu   sync.Mutex
 	err     error
+	statsMu sync.Mutex
 	stats   Stats
 	closed  bool
+
+	dispatchOp   *obs.Op
+	stallOp      *obs.Op
+	appendOp     *obs.Op
+	droppedMsgs  *obs.Counter
+	droppedBytes *obs.Counter
 }
 
 // New starts a distributor whose sinks are created on demand by create
@@ -75,9 +95,14 @@ type Distributor struct {
 func New(create func(conn *bagio.Connection) (TopicSink, error), opts Options) *Distributor {
 	opts.fill()
 	d := &Distributor{
-		opts:   opts,
-		create: create,
-		sinks:  map[string]TopicSink{},
+		opts:         opts,
+		create:       create,
+		sinks:        map[string]TopicSink{},
+		dispatchOp:   opts.Obs.Op("organizer.dispatch"),
+		stallOp:      opts.Obs.Op("organizer.enqueue_stall"),
+		appendOp:     opts.Obs.Op("organizer.append"),
+		droppedMsgs:  opts.Obs.Counter("organizer.dropped_messages"),
+		droppedBytes: opts.Obs.Counter("organizer.dropped_bytes"),
 	}
 	d.stats.PerTopic = map[string]int64{}
 	d.workers = make([]chan workItem, opts.Workers)
@@ -94,12 +119,33 @@ func (d *Distributor) runWorker(ch <-chan workItem) {
 	defer d.wg.Done()
 	for item := range ch {
 		if d.failed() {
+			d.noteDropped(item)
 			continue // drain
 		}
+		sp := d.appendOp.Start()
 		if err := item.sink.Append(item.time, item.payload); err != nil {
+			sp.EndErr(err)
 			d.fail(err)
+			d.noteDropped(item)
+			continue
 		}
+		sp.EndBytes(int64(len(item.payload)))
+		d.statsMu.Lock()
+		d.stats.Messages++
+		d.stats.Bytes += int64(len(item.payload))
+		d.stats.PerTopic[item.topic]++
+		d.statsMu.Unlock()
 	}
+}
+
+// noteDropped accounts for an item that was dispatched but will never
+// reach its sink.
+func (d *Distributor) noteDropped(item workItem) {
+	d.statsMu.Lock()
+	d.stats.Dropped++
+	d.statsMu.Unlock()
+	d.droppedMsgs.Inc()
+	d.droppedBytes.Add(int64(len(item.payload)))
 }
 
 func (d *Distributor) fail(err error) {
@@ -135,23 +181,36 @@ func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []b
 	if err := d.firstErr(); err != nil {
 		return err
 	}
+	sp := d.dispatchOp.Start()
 	sink, ok := d.sinks[conn.Topic]
 	if !ok {
 		var err error
 		sink, err = d.create(conn)
 		if err != nil {
 			d.fail(err)
+			sp.EndErr(err)
 			return err
 		}
 		d.sinks[conn.Topic] = sink
+		d.statsMu.Lock()
 		d.stats.Topics++
+		d.statsMu.Unlock()
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
-	d.workers[topicHash(conn.Topic)%uint32(len(d.workers))] <- workItem{sink: sink, time: t, payload: buf}
-	d.stats.Messages++
-	d.stats.Bytes += int64(len(payload))
-	d.stats.PerTopic[conn.Topic]++
+	item := workItem{sink: sink, topic: conn.Topic, time: t, payload: buf}
+	ch := d.workers[topicHash(conn.Topic)%uint32(len(d.workers))]
+	select {
+	case ch <- item:
+	default:
+		// Queue full: the scanner outruns this worker. Record how long the
+		// Fig 6 pipeline stalls — the back-pressure the paper's "a few other
+		// threads" sizing argument is about.
+		stall := d.stallOp.Start()
+		ch <- item
+		stall.End()
+	}
+	sp.EndBytes(int64(len(payload)))
 	return nil
 }
 
@@ -165,7 +224,7 @@ func (d *Distributor) firstErr() error {
 // error encountered anywhere in the run together with the run's stats.
 func (d *Distributor) Close() (Stats, error) {
 	if d.closed {
-		return d.stats, fmt.Errorf("organizer: distributor already closed")
+		return d.statsCopy(), fmt.Errorf("organizer: distributor already closed")
 	}
 	d.closed = true
 	for _, ch := range d.workers {
@@ -177,5 +236,18 @@ func (d *Distributor) Close() (Stats, error) {
 			d.err = fmt.Errorf("organizer: close sink for %q: %w", topic, err)
 		}
 	}
-	return d.stats, d.err
+	return d.statsCopy(), d.err
+}
+
+// statsCopy snapshots the run stats; after Close has joined the workers
+// the lock is uncontended.
+func (d *Distributor) statsCopy() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	s := d.stats
+	s.PerTopic = make(map[string]int64, len(d.stats.PerTopic))
+	for k, v := range d.stats.PerTopic {
+		s.PerTopic[k] = v
+	}
+	return s
 }

@@ -167,6 +167,88 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 }
 
+// TestStatsCountAppendsNotDispatches is the regression test for the
+// stats overcount: after a sink failure flips the workers into drain
+// mode, Close must report only the messages actually appended to sinks,
+// with everything else in Dropped — not every dispatched item.
+func TestStatsCountAppendsNotDispatches(t *testing.T) {
+	sinks := map[string]*memSink{}
+	d := New(func(c *bagio.Connection) (TopicSink, error) {
+		s := &memSink{topic: c.Topic, failOn: 5}
+		sinks[c.Topic] = s
+		return s, nil
+	}, Options{Workers: 4, QueueDepth: 4})
+
+	topics := []string{"/a", "/b", "/c", "/d", "/e", "/f"}
+	var dispatched int64
+	for i := 0; i < 100; i++ {
+		for _, tp := range topics {
+			if err := d.Dispatch(conn(tp), bagio.Time{Sec: uint32(i)}, []byte{byte(i), byte(i >> 8)}); err != nil {
+				goto closed
+			}
+			dispatched++
+		}
+	}
+closed:
+	stats, err := d.Close()
+	if err == nil {
+		t.Fatal("Close should report the injected append failure")
+	}
+	var appended, appendedBytes int64
+	for _, s := range sinks {
+		appended += int64(len(s.times))
+		for _, p := range s.data {
+			appendedBytes += int64(len(p))
+		}
+	}
+	if stats.Messages != appended {
+		t.Errorf("stats.Messages = %d, want %d (appends that actually landed)", stats.Messages, appended)
+	}
+	if stats.Bytes != appendedBytes {
+		t.Errorf("stats.Bytes = %d, want %d", stats.Bytes, appendedBytes)
+	}
+	if stats.Messages+stats.Dropped != dispatched {
+		t.Errorf("Messages(%d) + Dropped(%d) != dispatched(%d)", stats.Messages, stats.Dropped, dispatched)
+	}
+	if stats.Dropped == 0 {
+		t.Error("expected drained items to be counted as Dropped")
+	}
+	var perTopicSum int64
+	for tp, n := range stats.PerTopic {
+		if want := int64(len(sinks[tp].times)); n != want {
+			t.Errorf("PerTopic[%s] = %d, want %d", tp, n, want)
+		}
+		perTopicSum += n
+	}
+	if perTopicSum != stats.Messages {
+		t.Errorf("sum(PerTopic) = %d, want %d", perTopicSum, stats.Messages)
+	}
+}
+
+// TestDistributeRace exercises the dispatch/append/drain paths with ≥4
+// workers and an injected mid-run failure; run with -race.
+func TestDistributeRace(t *testing.T) {
+	d := New(func(c *bagio.Connection) (TopicSink, error) {
+		s := &memSink{topic: c.Topic}
+		if c.Topic == "/poison" {
+			s.failOn = 50
+		}
+		return s, nil
+	}, Options{Workers: 6, QueueDepth: 2})
+	topics := []string{"/a", "/b", "/c", "/d", "/e", "/f", "/g", "/poison"}
+	for i := 0; i < 500; i++ {
+		for _, tp := range topics {
+			if err := d.Dispatch(conn(tp), bagio.Time{Sec: uint32(i)}, []byte{byte(i)}); err != nil {
+				goto done
+			}
+		}
+	}
+done:
+	if _, err := d.Close(); err == nil {
+		t.Fatal("Close should report the injected failure")
+	}
+}
+
 func TestManyTopicsShardAcrossWorkers(t *testing.T) {
 	var mu sync.Mutex
 	created := 0

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 )
 
 // Stats counts the I/O-relevant operations performed by a Reader; the
@@ -34,6 +35,7 @@ type Reader struct {
 	connsOrder []*bagio.Connection
 	chunkInfos []*bagio.ChunkInfo
 	stats      Stats
+	readOp     *obs.Op // rosbag.read: baseline query latency/bytes
 }
 
 // MessageRef is one message yielded by ReadMessages. Data is only valid
@@ -72,6 +74,25 @@ func (q *Query) normalize() (map[string]bool, bagio.Time, bagio.Time) {
 // read the bag header, seek to the index section, read every connection
 // record and traverse the complete chunk-info list (Fig 4a of the paper).
 func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
+	return OpenReaderObs(r, size, nil)
+}
+
+// OpenReaderObs is OpenReader recording the baseline access path to reg
+// (rosbag.open, rosbag.read ops), so baseline-vs-BORA comparisons come
+// from the same instrument. A nil registry disables recording.
+func OpenReaderObs(r io.ReaderAt, size int64, reg *obs.Registry) (*Reader, error) {
+	sp := reg.Op("rosbag.open").Start()
+	br, err := openReader(r, size)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	sp.EndBytes(br.stats.BytesRead)
+	br.readOp = reg.Op("rosbag.read")
+	return br, nil
+}
+
+func openReader(r io.ReaderAt, size int64) (*Reader, error) {
 	br := &Reader{r: r, size: size, conns: map[uint32]*bagio.Connection{}}
 	sc := bagio.NewRecordScanner(io.NewSectionReader(r, 0, size))
 	if err := sc.ReadMagic(); err != nil {
@@ -152,6 +173,11 @@ func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
 
 // Open opens a bag file from the file system.
 func Open(path string) (*Reader, *os.File, error) {
+	return OpenObs(path, nil)
+}
+
+// OpenObs is Open recording the baseline access path to reg.
+func OpenObs(path string, reg *obs.Registry) (*Reader, *os.File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -161,7 +187,7 @@ func Open(path string) (*Reader, *os.File, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	r, err := OpenReader(f, st.Size())
+	r, err := OpenReaderObs(f, st.Size(), reg)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
@@ -338,7 +364,16 @@ func (br *Reader) readChunkData(ci *bagio.ChunkInfo) ([]byte, error) {
 
 // ReadMessages yields matching messages in timestamp order. This is the
 // baseline two-dimensional (topics, time-range) query path.
-func (br *Reader) ReadMessages(q Query, fn func(MessageRef) error) error {
+func (br *Reader) ReadMessages(q Query, fn func(MessageRef) error) (err error) {
+	sp := br.readOp.Start()
+	bytesBefore := br.stats.BytesRead
+	defer func() {
+		if err != nil {
+			sp.EndErr(err)
+		} else {
+			sp.EndBytes(br.stats.BytesRead - bytesBefore)
+		}
+	}()
 	topicSet, start, end := q.normalize()
 	connSet := br.connIDs(topicSet)
 	entries, err := br.buildEntryList(connSet, start, end)

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 )
 
 // ScanFunc receives each message during a sequential scan, in file order.
@@ -18,6 +19,32 @@ type ScanFunc func(conn *bagio.Connection, t bagio.Time, data []byte) error
 // scanning the file once" (Fig 6). Connections are discovered from the
 // records embedded in chunks; the index section at the tail is skipped.
 func Scan(r io.ReaderAt, size int64, fn ScanFunc) error {
+	return ScanObs(r, size, nil, fn)
+}
+
+// ScanObs is Scan recording the pass to reg as one rosbag.scan span
+// carrying the total payload bytes delivered. A nil registry disables
+// recording.
+func ScanObs(r io.ReaderAt, size int64, reg *obs.Registry, fn ScanFunc) error {
+	op := reg.Op("rosbag.scan")
+	if op == nil {
+		return scan(r, size, fn)
+	}
+	sp := op.Start()
+	var delivered int64
+	err := scan(r, size, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
+		delivered += int64(len(data))
+		return fn(conn, t, data)
+	})
+	if err != nil {
+		sp.EndErr(err)
+		return err
+	}
+	sp.EndBytes(delivered)
+	return nil
+}
+
+func scan(r io.ReaderAt, size int64, fn ScanFunc) error {
 	sc := bagio.NewRecordScanner(io.NewSectionReader(r, 0, size))
 	if err := sc.ReadMagic(); err != nil {
 		return err

@@ -1,8 +1,10 @@
 package timeindex
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -150,27 +152,70 @@ func sortedU32(v []uint32) []uint32 {
 	return out
 }
 
+// TestUnmarshalRejectsCorruption corrupts a valid serialized index in
+// every way the wire format can go wrong and checks each is rejected
+// with the matching diagnostic rather than read out of bounds or
+// silently mis-parsed. Layout under test (window=1s, one position in
+// each of the windows at 1s and 2s):
+//
+//	[0:8) window  [8:12) count=2
+//	[12:24) win1 start+n  [24:28) win1 pos
+//	[28:40) win2 start+n  [40:44) win2 pos
 func TestUnmarshalRejectsCorruption(t *testing.T) {
 	ix := Build(time.Second, []bagio.Time{ts(1, 0), ts(2, 0)})
 	good := ix.Marshal()
-	cases := map[string][]byte{
-		"empty":        {},
-		"short header": good[:8],
-		"truncated":    good[:len(good)-2],
-		"trailing":     append(append([]byte{}, good...), 0xFF),
+	if len(good) != 44 {
+		t.Fatalf("fixture layout changed: %d bytes, want 44", len(good))
 	}
-	for name, in := range cases {
-		if _, err := Unmarshal(in); err == nil {
-			t.Errorf("%s: Unmarshal accepted corrupt input", name)
+	mutate := func(mut func(b []byte) []byte) []byte {
+		return mut(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name    string
+		in      []byte
+		wantErr string
+	}{
+		{"empty", nil, "truncated header"},
+		{"short header", mutate(func(b []byte) []byte { return b[:11] }), "truncated header"},
+		{"zero window", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[0:8], 0)
+			return b
+		}), "invalid window"},
+		{"negative window", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[0:8], 1<<63)
+			return b
+		}), "invalid window"},
+		{"truncated window header", mutate(func(b []byte) []byte { return b[:34] }), "truncated window header"},
+		{"window count beyond buffer", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 3)
+			return b
+		}), "truncated window header"},
+		{"position list overrun", mutate(func(b []byte) []byte {
+			// Window 1 claims 2^31 positions; its list would run far past
+			// the buffer (and must not be allocated either).
+			binary.LittleEndian.PutUint32(b[20:24], 1<<31)
+			return b
+		}), "truncated position list"},
+		{"position list truncated", mutate(func(b []byte) []byte { return b[:42] }), "truncated position list"},
+		{"duplicate window", mutate(func(b []byte) []byte {
+			copy(b[28:40], b[12:24]) // second window header repeats the first
+			return b
+		}), "duplicate window"},
+		{"trailing bytes", mutate(func(b []byte) []byte { return append(b, 0xFF) }), "trailing bytes"},
+	}
+	for _, tc := range cases {
+		_, err := Unmarshal(tc.in)
+		if err == nil {
+			t.Errorf("%s: Unmarshal accepted corrupt input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %q, want substring %q", tc.name, err, tc.wantErr)
 		}
 	}
-	// Zero window.
-	bad := append([]byte{}, good...)
-	for i := 0; i < 8; i++ {
-		bad[i] = 0
-	}
-	if _, err := Unmarshal(bad); err == nil {
-		t.Error("Unmarshal accepted zero window")
+	// The uncorrupted fixture still parses.
+	if _, err := Unmarshal(good); err != nil {
+		t.Fatalf("pristine fixture rejected: %v", err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rosbag"
 )
 
@@ -35,6 +36,14 @@ type OpStats struct {
 	Closes   int
 	Stats    int
 	Readdirs int
+	Removes  int
+}
+
+// fsObs holds the per-op latency instruments behind OpStats. All fields
+// are nil (no-op) when the backend carries no obs registry.
+type fsObs struct {
+	create, open, read, write, close *obs.Op
+	stat, readdir, remove            *obs.Op
 }
 
 // FS is a mounted BORA front end.
@@ -43,15 +52,27 @@ type FS struct {
 	backend *core.BORA
 	workDir string // spool area for in-flight writes and read snapshots
 	stats   OpStats
+	obs     fsObs
 }
 
 // Mount attaches a front end to a BORA back end, spooling through
-// workDir (a temporary directory works).
+// workDir (a temporary directory works). Per-op latency is recorded to
+// the backend's obs registry (see core.Options.Obs) under vfs.* ops.
 func Mount(backend *core.BORA, workDir string) (*FS, error) {
 	if err := os.MkdirAll(workDir, 0o755); err != nil {
 		return nil, fmt.Errorf("vfs: spool dir: %w", err)
 	}
-	return &FS{backend: backend, workDir: workDir}, nil
+	reg := backend.Obs()
+	return &FS{backend: backend, workDir: workDir, obs: fsObs{
+		create:  reg.Op("vfs.create"),
+		open:    reg.Op("vfs.open"),
+		read:    reg.Op("vfs.read"),
+		write:   reg.Op("vfs.write"),
+		close:   reg.Op("vfs.close"),
+		stat:    reg.Op("vfs.stat"),
+		readdir: reg.Op("vfs.readdir"),
+		remove:  reg.Op("vfs.remove"),
+	}}, nil
 }
 
 // Stats returns the accumulated op counts.
@@ -75,6 +96,8 @@ func bagName(name string) (string, error) {
 
 // List returns the bag file names visible on the front end.
 func (fs *FS) List() ([]string, error) {
+	sp := fs.obs.readdir.Start()
+	defer sp.End()
 	fs.mu.Lock()
 	fs.stats.Readdirs++
 	fs.mu.Unlock()
@@ -94,6 +117,8 @@ func (fs *FS) List() ([]string, error) {
 // the reconstructed bag stream is not materialized; Stat reports the
 // container's payload size, which is what analysis tools care about).
 func (fs *FS) Stat(name string) (int64, error) {
+	sp := fs.obs.stat.Start()
+	defer sp.End()
 	fs.mu.Lock()
 	fs.stats.Stats++
 	fs.mu.Unlock()
@@ -130,8 +155,14 @@ type WriteFile struct {
 	closed bool
 }
 
-// Create starts writing a bag through the front end.
+// Create starts writing a bag through the front end. Each in-flight
+// write spools to its own unique temporary file, so concurrent Creates
+// of the same bag name cannot truncate each other's spool; the conflict
+// is detected at Close time, when the back end refuses a second
+// container of the same name.
 func (fs *FS) Create(name string) (*WriteFile, error) {
+	sp := fs.obs.create.Start()
+	defer sp.End()
 	fs.mu.Lock()
 	fs.stats.Creates++
 	fs.mu.Unlock()
@@ -139,12 +170,11 @@ func (fs *FS) Create(name string) (*WriteFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	path := filepath.Join(fs.workDir, "spool-"+base+".bag")
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(fs.workDir, "spool-"+base+"-*.bag")
 	if err != nil {
 		return nil, err
 	}
-	return &WriteFile{fs: fs, base: base, spool: f, path: path}, nil
+	return &WriteFile{fs: fs, base: base, spool: f, path: f.Name()}, nil
 }
 
 // Write implements io.Writer.
@@ -152,10 +182,13 @@ func (w *WriteFile) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("vfs: write after close")
 	}
+	sp := w.fs.obs.write.Start()
 	w.fs.mu.Lock()
 	w.fs.stats.Writes++
 	w.fs.mu.Unlock()
-	return w.spool.Write(p)
+	n, err := w.spool.Write(p)
+	sp.EndBytes(int64(n))
+	return n, err
 }
 
 // Close finishes the write: the spooled bag is duplicated into a BORA
@@ -165,6 +198,8 @@ func (w *WriteFile) Close() error {
 		return nil
 	}
 	w.closed = true
+	sp := w.fs.obs.close.Start()
+	defer sp.End()
 	w.fs.mu.Lock()
 	w.fs.stats.Closes++
 	w.fs.mu.Unlock()
@@ -183,46 +218,52 @@ type ReadFile struct {
 	fs     *FS
 	f      *os.File
 	size   int64
-	off    int64
 	closed bool
 }
 
 // Open serves a logical bag file for reading. The bag stream is
 // reconstructed from the container into a snapshot once per Open; stock
-// bag readers can then parse it unchanged.
+// bag readers can then parse it unchanged. Each Open materializes its
+// own unique snapshot file, so concurrent Opens of the same bag never
+// truncate each other's stream and each Close unlinks only its own
+// snapshot.
 func (fs *FS) Open(name string) (*ReadFile, error) {
+	sp := fs.obs.open.Start()
 	fs.mu.Lock()
 	fs.stats.Opens++
 	fs.mu.Unlock()
 	base, err := bagName(name)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
 	bag, err := fs.backend.Open(base)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
-	snap := filepath.Join(fs.workDir, "snap-"+base+".bag")
-	f, err := os.Create(snap)
+	f, err := os.CreateTemp(fs.workDir, "snap-"+base+"-*.bag")
 	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	fail := func(err error) (*ReadFile, error) {
+		f.Close()
+		os.Remove(f.Name())
+		sp.EndErr(err)
 		return nil, err
 	}
 	if err := bag.Export(f, rosbag.WriterOptions{}); err != nil {
-		f.Close()
-		os.Remove(snap)
-		return nil, fmt.Errorf("vfs: reconstruct %s: %w", base, err)
+		return fail(fmt.Errorf("vfs: reconstruct %s: %w", base, err))
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		os.Remove(snap)
-		return nil, err
+		return fail(err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		f.Close()
-		os.Remove(snap)
-		return nil, err
+		return fail(err)
 	}
+	sp.EndBytes(st.Size())
 	return &ReadFile{fs: fs, f: f, size: st.Size()}, nil
 }
 
@@ -234,11 +275,12 @@ func (r *ReadFile) Read(p []byte) (int, error) {
 	if r.closed {
 		return 0, fmt.Errorf("vfs: read after close")
 	}
+	sp := r.fs.obs.read.Start()
 	r.fs.mu.Lock()
 	r.fs.stats.Reads++
 	r.fs.mu.Unlock()
 	n, err := r.f.Read(p)
-	r.off += int64(n)
+	sp.EndBytes(int64(n))
 	return n, err
 }
 
@@ -247,10 +289,13 @@ func (r *ReadFile) ReadAt(p []byte, off int64) (int, error) {
 	if r.closed {
 		return 0, fmt.Errorf("vfs: read after close")
 	}
+	sp := r.fs.obs.read.Start()
 	r.fs.mu.Lock()
 	r.fs.stats.Reads++
 	r.fs.mu.Unlock()
-	return r.f.ReadAt(p, off)
+	n, err := r.f.ReadAt(p, off)
+	sp.EndBytes(int64(n))
+	return n, err
 }
 
 // Close releases the snapshot.
@@ -259,6 +304,8 @@ func (r *ReadFile) Close() error {
 		return nil
 	}
 	r.closed = true
+	sp := r.fs.obs.close.Start()
+	defer sp.End()
 	r.fs.mu.Lock()
 	r.fs.stats.Closes++
 	r.fs.mu.Unlock()
@@ -271,9 +318,16 @@ func (r *ReadFile) Close() error {
 
 // Remove deletes a bag through the front end.
 func (fs *FS) Remove(name string) error {
+	sp := fs.obs.remove.Start()
+	fs.mu.Lock()
+	fs.stats.Removes++
+	fs.mu.Unlock()
 	base, err := bagName(name)
 	if err != nil {
+		sp.EndErr(err)
 		return err
 	}
-	return fs.backend.Remove(base)
+	err = fs.backend.Remove(base)
+	sp.EndErr(err)
+	return err
 }

@@ -1,8 +1,10 @@
 package vfs
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -135,6 +137,151 @@ func TestReadBackThroughFrontEndWithStockReader(t *testing.T) {
 	}
 }
 
+// TestConcurrentOpensDoNotClobber is the regression test for the fixed
+// snapshot path: Open used to materialize every reader's snapshot at
+// workDir/snap-<base>.bag, so concurrent Opens of the same bag truncated
+// each other's stream mid-read and a Close unlinked a snapshot another
+// reader was still using. Each of the goroutines below must see a
+// complete, parseable bag with the full message count; run with -race.
+func TestConcurrentOpensDoNotClobber(t *testing.T) {
+	fs := mountTestFS(t)
+	src := writeSourceBag(t, t.TempDir())
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("shared.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orig, f, err := rosbag.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := orig.MessageCount()
+	f.Close()
+
+	const readers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rf, err := fs.Open("shared.bag")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rf.Close()
+			r, err := rosbag.OpenReader(rf, rf.Size())
+			if err != nil {
+				errs <- fmt.Errorf("parse snapshot: %w", err)
+				return
+			}
+			var n uint64
+			if err := r.ReadMessages(rosbag.Query{}, func(m rosbag.MessageRef) error {
+				n++
+				return nil
+			}); err != nil {
+				errs <- fmt.Errorf("read snapshot: %w", err)
+				return
+			}
+			if n != want {
+				errs <- fmt.Errorf("reader saw %d messages, want %d", n, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every Close unlinked its own snapshot: the spool dir is empty again.
+	ents, err := os.ReadDir(fs.workDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("spool dir not empty after all readers closed: %v", ents)
+	}
+}
+
+// TestConcurrentCreatesDoNotClobberSpool is the write-side half of the
+// same bug: two in-flight Creates of one bag name used to share
+// workDir/spool-<base>.bag, interleaving their bytes into garbage. Now
+// each spools privately; the name conflict surfaces at Close, when the
+// back end refuses a second container, and the surviving bag must be
+// intact.
+func TestConcurrentCreatesDoNotClobberSpool(t *testing.T) {
+	fs := mountTestFS(t)
+	src := writeSourceBag(t, t.TempDir())
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	files := make([]*WriteFile, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		w, err := fs.Create("contended.bag")
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = w
+		wg.Add(1)
+		go func(w *WriteFile) {
+			defer wg.Done()
+			// Chunked writes maximize interleaving windows.
+			for off := 0; off < len(raw); off += 4096 {
+				end := off + 4096
+				if end > len(raw) {
+					end = len(raw)
+				}
+				if _, err := w.Write(raw[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Closes are serialized: exactly the first organizes the container,
+	// the rest must fail on the name conflict instead of corrupting it.
+	if err := files[0].Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	for i := 1; i < writers; i++ {
+		if err := files[i].Close(); err == nil {
+			t.Errorf("Close %d should have failed on the name conflict", i)
+		}
+	}
+	rf, err := fs.Open("contended.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := rosbag.OpenReader(rf, rf.Size())
+	if err != nil {
+		t.Fatalf("surviving bag does not parse: %v", err)
+	}
+	orig, f, err := rosbag.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got, want := r.MessageCount(), orig.MessageCount(); got != want {
+		t.Errorf("surviving bag has %d messages, want %d", got, want)
+	}
+}
+
 func TestFrontEndValidation(t *testing.T) {
 	fs := mountTestFS(t)
 	if _, err := fs.Create("noext"); err == nil {
@@ -180,5 +327,8 @@ func TestRemoveThroughFrontEnd(t *testing.T) {
 	}
 	if len(names) != 0 {
 		t.Errorf("List after remove = %v", names)
+	}
+	if st := fs.Stats(); st.Removes != 1 {
+		t.Errorf("stats.Removes = %d, want 1", st.Removes)
 	}
 }
