@@ -2,17 +2,27 @@
 //
 // Usage:
 //
-//	borabag [-metrics] record -o out.bag -seconds 5 [-scale 1000]
-//	borabag [-metrics] info file.bag
-//	borabag [-metrics] duplicate -backend DIR -name bag1 file.bag
-//	borabag [-metrics] ls -backend DIR
-//	borabag [-metrics] topics -backend DIR -name bag1
-//	borabag [-metrics] query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
-//	borabag [-metrics] export -backend DIR -name bag1 -o out.bag
+//	borabag [global flags] record -o out.bag -seconds 5 [-scale 1000]
+//	borabag [global flags] info file.bag
+//	borabag [global flags] duplicate -backend DIR -name bag1 file.bag
+//	borabag [global flags] ls -backend DIR
+//	borabag [global flags] topics -backend DIR -name bag1
+//	borabag [global flags] query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
+//	borabag [global flags] export -backend DIR -name bag1 -o out.bag
 //
-// The global -metrics flag prints an observability snapshot (per-op
-// counts, bytes and latency histograms from internal/obs) to stderr
-// after the subcommand finishes.
+// Global flags precede the subcommand:
+//
+//	-metrics          print an observability snapshot (per-op counts,
+//	                  bytes and latency histograms from internal/obs) to
+//	                  stderr after the subcommand finishes
+//	-metrics-out FILE write the snapshot as JSON to FILE instead
+//	-trace FILE       record span begin/end events and write them to FILE
+//	                  as Chrome trace-event JSON (load in chrome://tracing
+//	                  or Perfetto)
+//
+// The flags compose: each independently enables the shared registry, so
+// e.g. -trace alone collects metrics too (they are simply not printed),
+// and -metrics -trace FILE prints the snapshot and writes the trace.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bagio"
@@ -29,17 +40,45 @@ import (
 	"repro/internal/workload"
 )
 
-// metricsReg is non-nil when the global -metrics flag is set; every
-// subcommand threads it into the stack it drives. Nil keeps the whole
-// obs layer inert.
+// metricsReg is non-nil when any global observability flag is set
+// (-metrics, -metrics-out, -trace); every subcommand threads it into the
+// stack it drives. Nil keeps the whole obs layer inert.
 var metricsReg *obs.Registry
 
 func main() {
 	args := os.Args[1:]
 	// Global flags precede the subcommand.
-	for len(args) > 0 && args[0] == "-metrics" {
-		metricsReg = obs.NewRegistry()
-		args = args[1:]
+	var (
+		printMetrics bool
+		metricsOut   string
+		traceOut     string
+		tracer       *obs.Tracer
+	)
+	ensureReg := func() {
+		if metricsReg == nil {
+			metricsReg = obs.NewRegistry()
+		}
+	}
+globalFlags:
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-metrics":
+			printMetrics = true
+			ensureReg()
+			args = args[1:]
+		case args[0] == "-metrics-out" && len(args) > 1:
+			metricsOut = args[1]
+			ensureReg()
+			args = args[2:]
+		case args[0] == "-trace" && len(args) > 1:
+			traceOut = args[1]
+			ensureReg()
+			tracer = obs.NewTracer(0)
+			metricsReg.AttachTracer(tracer)
+			args = args[2:]
+		default:
+			break globalFlags
+		}
 	}
 	if len(args) < 1 {
 		usage()
@@ -77,10 +116,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if metricsReg != nil {
+	if printMetrics {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprintln(os.Stderr, "== obs snapshot ==")
 		metricsReg.Snapshot().WriteText(os.Stderr)
+	}
+	if metricsOut != "" {
+		if werr := writeSnapshotFile(metricsOut, metricsReg); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if traceOut != "" {
+		if werr := writeTraceFile(traceOut, tracer); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "borabag:", err)
@@ -88,8 +137,31 @@ func main() {
 	}
 }
 
+// writeSnapshotFile dumps the registry snapshot as JSON to path.
+func writeSnapshotFile(path string, reg *obs.Registry) error {
+	data, err := reg.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeTraceFile dumps the recorded spans as Chrome trace-event JSON to
+// path.
+func writeTraceFile(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: borabag <command> [flags]
+	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] <command> [flags]
 
 commands:
   record     synthesize a Handheld-SLAM-like bag (Table II mix)
@@ -237,6 +309,7 @@ func cmdQuery(args []string) error {
 	topicsArg := fs.String("topics", "", "comma-separated topic names (empty = all)")
 	startSec := fs.Float64("start", 0, "start time (seconds since epoch, 0 = bag start)")
 	endSec := fs.Float64("end", 0, "end time (seconds since epoch, 0 = bag end)")
+	parallel := fs.Int("parallel", 0, "read topic streams concurrently with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress per-message output")
 	fs.Parse(args)
 	b, err := openBackend(*backend)
@@ -253,25 +326,34 @@ func cmdQuery(args []string) error {
 	if *topicsArg != "" {
 		topics = strings.Split(*topicsArg, ",")
 	}
+	var mu sync.Mutex
 	var count int
 	var bytes int64
 	emit := func(m core.MessageRef) error {
+		mu.Lock() // parallel queries deliver from several goroutines
 		count++
 		bytes += int64(len(m.Data))
 		if !*quiet {
 			fmt.Printf("%s %-32s %d bytes\n", m.Time, m.Conn.Topic, len(m.Data))
 		}
+		mu.Unlock()
 		return nil
 	}
 	queryStart := time.Now()
-	if *startSec > 0 || *endSec > 0 {
-		st := bagio.TimeFromNanos(int64(*startSec * 1e9))
-		en := bagio.MaxTime
-		if *endSec > 0 {
-			en = bagio.TimeFromNanos(int64(*endSec * 1e9))
-		}
+	st := bagio.TimeFromNanos(int64(*startSec * 1e9))
+	en := bagio.MaxTime
+	if *endSec > 0 {
+		en = bagio.TimeFromNanos(int64(*endSec * 1e9))
+	}
+	timed := *startSec > 0 || *endSec > 0
+	switch {
+	case timed && *parallel != 0:
+		err = bag.ReadMessagesTimeParallel(topics, st, en, *parallel, emit)
+	case timed:
 		err = bag.ReadMessagesTime(topics, st, en, emit)
-	} else {
+	case *parallel != 0:
+		err = bag.ReadMessagesParallel(topics, *parallel, emit)
+	default:
 		err = bag.ReadMessages(topics, emit)
 	}
 	if err != nil {

@@ -10,11 +10,21 @@
 //	borabench -exp fig10
 //	borabench -all
 //	borabench -metrics DIR -exp fig10
+//	borabench -trace DIR -exp fig10
 //
 // With -metrics DIR, each experiment runs against a fresh obs registry
 // and its snapshot is written to DIR/<id>.obs.json next to the printed
 // table — per-op counts, bytes and log2 latency histograms for every
-// instrumented layer the experiment exercised.
+// instrumented layer the experiment exercised. Experiments that split
+// their run into phases (e.g. validate-real's organize vs. query)
+// additionally write one DIR/<id>.<phase>.obs.json delta per phase.
+//
+// With -trace DIR, each experiment's registry also carries a tracer and
+// the recorded spans are written to DIR/<id>.trace.json as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto. Simulated
+// experiments emit sim-time spans (their virtual clocks are
+// obs-attached), real-I/O experiments wall-time spans; both flags
+// compose and may point at the same directory.
 package main
 
 import (
@@ -48,25 +58,45 @@ func run(args []string, out io.Writer) error {
 	exp := fs.String("exp", "", "run one experiment (e.g. fig10, table1)")
 	all := fs.Bool("all", false, "run every experiment")
 	metricsDir := fs.String("metrics", "", "write a <id>.obs.json observability sidecar per experiment to this directory")
+	traceDir := fs.String("trace", "", "write a <id>.trace.json Chrome trace-event sidecar per experiment to this directory")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: borabench [-list] [-exp <id>] [-all] [-metrics DIR]\n\nexperiments:\n  %s\n",
+		fmt.Fprintf(fs.Output(), "usage: borabench [-list] [-exp <id>] [-all] [-metrics DIR] [-trace DIR]\n\nexperiments:\n  %s\n",
 			strings.Join(bench.IDs(), "\n  "))
 	}
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
 
-	// runOne executes one experiment, with its own registry when a
-	// sidecar directory was requested so the per-experiment files do not
-	// bleed into each other.
+	// runOne executes one experiment, with its own registry (and tracer)
+	// when a sidecar directory was requested so the per-experiment files
+	// do not bleed into each other.
 	runOne := func(id string) (*bench.Table, error) {
-		if *metricsDir == "" {
+		if *metricsDir == "" && *traceDir == "" {
 			return bench.Run(id)
 		}
 		reg := obs.NewRegistry()
+		var tr *obs.Tracer
+		if *traceDir != "" {
+			tr = obs.NewTracer(0)
+			reg.AttachTracer(tr)
+		}
 		t, err := bench.RunObs(id, reg)
-		if werr := writeSidecar(*metricsDir, id, reg); werr != nil && err == nil {
-			err = werr
+		if *metricsDir != "" {
+			if werr := writeSidecar(*metricsDir, id, reg.Snapshot()); werr != nil && err == nil {
+				err = werr
+			}
+			if t != nil {
+				for _, ph := range t.Phases {
+					if werr := writeSidecar(*metricsDir, id+"."+ph.Name, ph.Snap); werr != nil && err == nil {
+						err = werr
+					}
+				}
+			}
+		}
+		if tr != nil {
+			if werr := writeTrace(*traceDir, id, tr); werr != nil && err == nil {
+				err = werr
+			}
 		}
 		return t, err
 	}
@@ -99,11 +129,10 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// writeSidecar dumps one experiment's obs snapshot as JSON. An empty
-// registry (e.g. the experiment id did not resolve, so nothing ran)
-// leaves no file behind.
-func writeSidecar(dir, id string, reg *obs.Registry) error {
-	snap := reg.Snapshot()
+// writeSidecar dumps one obs snapshot as JSON. An empty snapshot (e.g.
+// the experiment id did not resolve, so nothing ran; or a phase with no
+// activity) leaves no file behind.
+func writeSidecar(dir, id string, snap obs.Snapshot) error {
 	if len(snap.Counters) == 0 && len(snap.Ops) == 0 {
 		return nil
 	}
@@ -115,4 +144,24 @@ func writeSidecar(dir, id string, reg *obs.Registry) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, id+".obs.json"), data, 0o644)
+}
+
+// writeTrace dumps one experiment's recorded spans as Chrome trace-event
+// JSON. A tracer that saw no events leaves no file behind.
+func writeTrace(dir, id string, tr *obs.Tracer) error {
+	if len(tr.Events()) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -21,6 +21,18 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string // expected paper shape, substitutions, caveats
+	// Phases carries per-phase metric deltas (obs.Snapshot.Delta) for
+	// experiments that split their run into named phases — e.g.
+	// validate-real's organize vs. query. cmd/borabench writes each as a
+	// <id>.<phase>.obs.json sidecar; Fprint ignores them.
+	Phases []Phase
+}
+
+// Phase is one named slice of an experiment's metrics: the registry
+// activity between two points of the run.
+type Phase struct {
+	Name string
+	Snap obs.Snapshot
 }
 
 // Fprint renders the table with aligned columns.

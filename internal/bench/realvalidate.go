@@ -49,9 +49,11 @@ func runValidateReal(reg *obs.Registry) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	preOrganize := reg.Snapshot()
 	if _, _, err := backend.Duplicate(src, "v"); err != nil {
 		return nil, err
 	}
+	postOrganize := reg.Snapshot()
 	base := bagio.TimeFromNanos(int64(1_500_000_000) * 1e9)
 
 	type queryCase struct {
@@ -113,6 +115,13 @@ func runValidateReal(reg *obs.Registry) (*Table, error) {
 			qc.label, fmtDur(stockTime), fmtDur(boraTime),
 			fmtRatio(stockTime, boraTime), fmt.Sprintf("%d", stockCount),
 		})
+	}
+	if reg != nil {
+		// Phase sidecars: the one-time organize cost vs. the query classes.
+		t.Phases = []Phase{
+			{Name: "organize", Snap: postOrganize.Delta(preOrganize)},
+			{Name: "query", Snap: reg.Snapshot().Delta(postOrganize)},
+		}
 	}
 	return t, nil
 }

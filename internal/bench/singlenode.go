@@ -51,14 +51,14 @@ func runFig9(reg *obs.Registry) (*Table, error) {
 			return nil, err
 		}
 		copyTime := func(p simio.Profile) time.Duration {
-			env := simio.NewLocalEnv(p)
+			env := newLocalEnv(p, reg)
 			return pathsim.BaselineRead(env, bag) + pathsim.BaselineWrite(env, bag)
 		}
 		ext4 := copyTime(simio.SingleNodeSSD())
 		xfs := copyTime(simio.SingleNodeXFS())
-		boraExt4 := pathsim.BoraDuplicate(simio.NewLocalEnv(simio.SingleNodeSSD()), bag, simWindow)
-		boraXFS := pathsim.BoraDuplicate(simio.NewLocalEnv(simio.SingleNodeXFS()), bag, simWindow)
-		b2b := pathsim.BoraCopyContainer(simio.NewLocalEnv(simio.SingleNodeSSD()), bag, simWindow)
+		boraExt4 := pathsim.BoraDuplicate(newLocalEnv(simio.SingleNodeSSD(), reg), bag, simWindow)
+		boraXFS := pathsim.BoraDuplicate(newLocalEnv(simio.SingleNodeXFS(), reg), bag, simWindow)
+		b2b := pathsim.BoraCopyContainer(newLocalEnv(simio.SingleNodeSSD(), reg), bag, simWindow)
 		t.Rows = append(t.Rows, []string{
 			fmtGB(size),
 			fmtDur(ext4), fmtDur(boraExt4), fmt.Sprintf("%.0f%%", (float64(boraExt4)/float64(ext4)-1)*100),
@@ -69,15 +69,27 @@ func runFig9(reg *obs.Registry) (*Table, error) {
 	return t, nil
 }
 
+// newLocalEnv builds a LocalEnv whose virtual clock records to reg:
+// per-op SIM-TIME histograms (and trace spans, when reg carries a
+// tracer) under the same op names the real path uses — core.open,
+// core.read, core.read_topic, rosbag.open, rosbag.read, ... A nil reg
+// leaves the clock unattached.
+func newLocalEnv(p simio.Profile, reg *obs.Registry) *simio.LocalEnv {
+	env := simio.NewLocalEnv(p)
+	env.Clock().AttachObs(reg)
+	return env
+}
+
 // queryPair runs open+query on both paths over a local profile. The
-// simulated path durations are recorded to reg under pathsim.* — these
-// are virtual-clock times, not host latency, so they are Observed rather
-// than span-timed.
+// end-to-end simulated durations are recorded to reg under pathsim.*
+// (virtual-clock times, Observed rather than span-timed); the clocks
+// are obs-attached, so the per-op breakdown lands under the real-path
+// op names as sim-time histograms.
 func queryPair(p simio.Profile, bag *layout.Bag, topics []string, reg *obs.Registry) (base, bora time.Duration) {
-	be := simio.NewLocalEnv(p)
+	be := newLocalEnv(p, reg)
 	pathsim.BaselineOpen(be, bag)
 	pathsim.BaselineQueryTopics(be, bag, topics)
-	bo := simio.NewLocalEnv(p)
+	bo := newLocalEnv(p, reg)
 	pathsim.BoraOpen(bo, bag)
 	pathsim.BoraQueryTopics(bo, bag, topics)
 	base, bora = be.Clock().Elapsed(), bo.Clock().Elapsed()
@@ -141,10 +153,10 @@ func runAppsQuery(id string, size int64, reg *obs.Registry) (*Table, error) {
 // timeQueryPair runs open + (topics, start–end) query on both paths,
 // recording the simulated durations like queryPair.
 func timeQueryPair(p simio.Profile, bag *layout.Bag, topics []string, startNs, endNs int64, reg *obs.Registry) (base, bora time.Duration) {
-	be := simio.NewLocalEnv(p)
+	be := newLocalEnv(p, reg)
 	pathsim.BaselineOpen(be, bag)
 	pathsim.BaselineQueryTime(be, bag, topics, startNs, endNs)
-	bo := simio.NewLocalEnv(p)
+	bo := newLocalEnv(p, reg)
 	pathsim.BoraOpen(bo, bag)
 	pathsim.BoraQueryTime(bo, bag, topics, startNs, endNs, simWindow)
 	base, bora = be.Clock().Elapsed(), bo.Clock().Elapsed()

@@ -359,12 +359,19 @@ func (t *Topic) Dir() string { return t.dir }
 // order, which is timestamp order for bags recorded chronologically.
 // The returned slice is shared; callers must not mutate it.
 func (t *Topic) Entries() ([]IndexEntry, error) {
+	return t.EntriesSpan(obs.Span{})
+}
+
+// EntriesSpan is Entries with the (first) index-file load recorded as a
+// container.index_load child of parent; cache hits record nothing. A
+// zero parent traces the load as a root span.
+func (t *Topic) EntriesSpan(parent obs.Span) ([]IndexEntry, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.loaded {
 		return t.entries, nil
 	}
-	sp := t.indexLoadOp.Start()
+	sp := parent.ChildOp(t.indexLoadOp)
 	buf, err := os.ReadFile(filepath.Join(t.dir, IndexFileName))
 	if err != nil {
 		err = fmt.Errorf("container: read index of %q: %w", t.topic, err)

@@ -169,16 +169,18 @@ func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) (err er
 		return err
 	}
 	for _, t := range resolved {
-		if err := bag.readTopicRange(t, bagio.MinTime, bagio.MaxTime, fn); err != nil {
+		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, bagio.MinTime, bagio.MaxTime, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// readTopicRange streams one topic's messages within [start, end].
-func (bag *Bag) readTopicRange(t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
-	sp := bag.ops.readTopic.Start()
+// readTopicRange streams one topic's messages within [start, end]. sp is
+// the topic stream's already-started core.read_topic span — callers
+// create it as a child (serial queries) or a fork (parallel streams, one
+// trace lane each) of their own span — and is ended here.
+func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
 	var d Stats
 	defer func() {
 		bag.addStats(d)
@@ -189,7 +191,7 @@ func (bag *Bag) readTopicRange(t *container.Topic, start, end bagio.Time, fn fun
 			sp.EndBytes(d.BytesRead)
 		}
 	}()
-	entries, err := t.Entries()
+	entries, err := t.EntriesSpan(sp)
 	if err != nil {
 		return err
 	}
@@ -297,7 +299,7 @@ func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func
 		return err
 	}
 	for _, t := range resolved {
-		if err := bag.readTopicRange(t, start, end, fn); err != nil {
+		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
 			return err
 		}
 	}
@@ -332,8 +334,12 @@ func (h *mergeHeap) Pop() interface{} {
 // timestamp order, merging the per-topic streams through a k-way heap.
 // It exists for consumers (e.g. SLAM replays) that need cross-topic
 // chronology; pure extraction workloads should prefer ReadMessages.
-func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
-	sp := bag.ops.readChrono.Start()
+func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+	return bag.readMessagesChrono(obs.Span{}, topics, start, end, fn)
+}
+
+func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+	sp := parent.ChildOp(bag.ops.readChrono)
 	defer func() { sp.EndErr(err) }()
 	if end.IsZero() {
 		end = bagio.MaxTime
@@ -354,7 +360,7 @@ func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn fu
 		}
 	}()
 	for _, t := range resolved {
-		entries, err := t.Entries()
+		entries, err := t.EntriesSpan(sp)
 		if err != nil {
 			return err
 		}
@@ -410,8 +416,15 @@ func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn fu
 // Export reconstructs a standard bag file from the container so the bag
 // can be shared with machines that do not run BORA ("bag is a file").
 // Messages are written in chronological order.
-func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) (err error) {
-	sp := bag.ops.export.Start()
+func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) error {
+	return bag.ExportSpan(ws, opts, obs.Span{})
+}
+
+// ExportSpan is Export with the core.export span nested under parent
+// (e.g. the front end's vfs.open reconstructing a snapshot). A zero
+// parent traces it as a root.
+func (bag *Bag) ExportSpan(ws io.WriteSeeker, opts rosbag.WriterOptions, parent obs.Span) (err error) {
+	sp := parent.ChildOp(bag.ops.export)
 	defer func() { sp.EndErr(err) }()
 	w, err := rosbag.NewWriter(ws, opts)
 	if err != nil {
@@ -429,7 +442,7 @@ func (bag *Bag) Export(ws io.WriteSeeker, opts rosbag.WriterOptions) (err error)
 		}
 		conns[name] = id
 	}
-	err = bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	err = bag.readMessagesChrono(sp, nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
 		return w.WriteMessage(conns[m.Conn.Topic], m.Time, m.Data)
 	})
 	if err != nil {

@@ -150,6 +150,13 @@ type DuplicateStats struct {
 // named name (the BORA data duplication operation, Fig 6). The source
 // bag is read exactly once, sequentially.
 func (b *BORA) Duplicate(bagPath, name string) (*Bag, DuplicateStats, error) {
+	return b.DuplicateSpan(bagPath, name, obs.Span{})
+}
+
+// DuplicateSpan is Duplicate with the core.duplicate span nested under
+// parent (e.g. the front end's vfs.close span). A zero parent traces it
+// as a root.
+func (b *BORA) DuplicateSpan(bagPath, name string, parent obs.Span) (*Bag, DuplicateStats, error) {
 	f, err := os.Open(bagPath)
 	if err != nil {
 		return nil, DuplicateStats{}, err
@@ -159,12 +166,18 @@ func (b *BORA) Duplicate(bagPath, name string) (*Bag, DuplicateStats, error) {
 	if err != nil {
 		return nil, DuplicateStats{}, err
 	}
-	return b.DuplicateFrom(f, st.Size(), name)
+	return b.DuplicateFromSpan(f, st.Size(), name, parent)
 }
 
 // DuplicateFrom is Duplicate reading from an arbitrary source.
 func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, DuplicateStats, error) {
-	sp := b.opts.Obs.Op("core.duplicate").Start()
+	return b.DuplicateFromSpan(r, size, name, obs.Span{})
+}
+
+// DuplicateFromSpan is DuplicateFrom nested under parent (see
+// DuplicateSpan).
+func (b *BORA) DuplicateFromSpan(r io.ReaderAt, size int64, name string, parent obs.Span) (*Bag, DuplicateStats, error) {
+	sp := parent.ChildOp(b.opts.Obs.Op("core.duplicate"))
 	c, err := container.Create(filepath.Join(b.root, name))
 	if err != nil {
 		sp.EndErr(err)
@@ -181,9 +194,9 @@ func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, Dupl
 			return nil, err
 		}
 		return &topicSink{tw: tw, tix: timeindex.New(b.opts.TimeWindow), dir: dir}, nil
-	}, organizer.Options{Workers: b.opts.Workers, Obs: b.opts.Obs})
+	}, organizer.Options{Workers: b.opts.Workers, Obs: b.opts.Obs, Parent: sp})
 
-	scanErr := rosbag.ScanObs(r, size, b.opts.Obs, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
+	scanErr := rosbag.ScanSpan(r, size, sp, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
 		return dist.Dispatch(conn, t, data)
 	})
 	stats, distErr := dist.Close()
@@ -197,7 +210,7 @@ func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, Dupl
 		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
 	}
-	bag, err := b.Open(name)
+	bag, err := b.OpenSpan(name, sp)
 	if err != nil {
 		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
@@ -257,7 +270,14 @@ func copyTree(src, dst string) error {
 // the container's sub-directories and build the tag manager's hash table
 // on the fly. No data or index file is touched.
 func (b *BORA) Open(name string) (*Bag, error) {
-	sp := b.opts.Obs.Op("core.open").Start()
+	return b.OpenSpan(name, obs.Span{})
+}
+
+// OpenSpan is Open with the core.open span nested under parent (e.g.
+// the duplication that triggered it, or a front-end vfs.open span). A
+// zero parent traces it as a root.
+func (b *BORA) OpenSpan(name string, parent obs.Span) (*Bag, error) {
+	sp := parent.ChildOp(b.opts.Obs.Op("core.open"))
 	c, err := container.Open(filepath.Join(b.root, name))
 	if err != nil {
 		sp.EndErr(err)
@@ -273,11 +293,12 @@ func (b *BORA) Open(name string) (*Bag, error) {
 		}
 		paths[topic] = p
 	}
+	tags := tagman.BuildSpan(paths, sp)
 	sp.End()
 	return &Bag{
 		name: name,
 		c:    c,
-		tags: tagman.Build(paths),
+		tags: tags,
 		opts: b.opts,
 		ops:  newBagObs(b.opts.Obs),
 	}, nil

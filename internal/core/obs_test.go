@@ -60,9 +60,10 @@ func TestObsCoversAllLayers(t *testing.T) {
 	for _, op := range []string{
 		"core.duplicate", "core.open", "core.read", "core.read_time",
 		"core.read_parallel", "core.read_topic", "core.read_chrono", "core.export",
-		"organizer.dispatch", "organizer.append",
+		"organizer.dispatch", "organizer.append", "organizer.worker",
 		"container.index_load", "container.read",
-		"rosbag.scan",
+		"rosbag.scan", "rosbag.scan_chunk",
+		"tagman.build",
 	} {
 		o, ok := snap.Ops[op]
 		if !ok || o.Count == 0 {

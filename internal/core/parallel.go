@@ -56,7 +56,7 @@ func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int
 	}
 	if workers <= 1 {
 		for _, t := range resolved {
-			if err := bag.readTopicRange(t, start, end, fn); err != nil {
+			if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
 				return err
 			}
 		}
@@ -89,7 +89,10 @@ func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int
 				if stop.Load() {
 					continue
 				}
-				if err := bag.readTopicRange(resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
+				// Fork: each concurrent topic stream gets its own trace lane
+				// with a stable, disjoint track id.
+				tsp := sp.ForkOp(bag.ops.readTopic)
+				if err := bag.readTopicRange(tsp, resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
 					fail(err)
 				}
 			}

@@ -24,6 +24,15 @@
 // Snapshot freezes a registry into an inert, encodable value with JSON
 // and aligned-text renderings; cmd/borabag's -metrics flag and
 // cmd/borabench's per-experiment sidecars are thin wrappers over it.
+//
+// A Registry can additionally carry a Tracer (AttachTracer): spans then
+// emit begin/end events — with parent span ids (Span.Child/ChildOp) and
+// per-lane track ids (Span.Fork/ForkOp) — into a bounded ring buffer
+// exportable as Chrome trace-event JSON (WriteChromeTrace), loadable in
+// chrome://tracing or Perfetto. cmd/borabag's -trace flag and
+// cmd/borabench's per-experiment trace sidecars are built on it; the
+// virtual clocks of internal/simio feed the same tracer with sim-time
+// timestamps through the Tracer's raw Begin/End API.
 package obs
 
 import (
@@ -47,6 +56,8 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	ops      map[string]*Op
+	epoch    time.Time
+	tracer   atomic.Pointer[Tracer]
 }
 
 // NewRegistry returns an empty registry.
@@ -54,7 +65,30 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		ops:      map[string]*Op{},
+		epoch:    time.Now(),
 	}
+}
+
+// now returns nanoseconds since the registry epoch (monotonic). Span
+// timestamps on this timeline double as trace-event timestamps.
+func (r *Registry) now() int64 { return int64(time.Since(r.epoch)) }
+
+// AttachTracer routes span begin/end events to t in addition to the
+// metric histograms. Attach before the run starts; a nil tracer (the
+// default) keeps spans metric-only at the cost of one atomic nil-check.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r != nil {
+		r.tracer.Store(t)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off or the
+// registry is nil).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
 }
 
 // Counter returns the named counter, creating it on first use. On a nil
@@ -96,7 +130,7 @@ func (r *Registry) Op(name string) *Op {
 	if o, ok = r.ops[name]; ok {
 		return o
 	}
-	o = newOp()
+	o = newOp(r, name)
 	r.ops[name] = o
 	return o
 }
@@ -138,6 +172,8 @@ func (c *Counter) Load() int64 {
 // Count may exceed the histogram total when events are recorded through
 // Add (counted but untimed).
 type Op struct {
+	name    string
+	reg     *Registry
 	count   atomic.Int64
 	errs    atomic.Int64
 	bytes   atomic.Int64
@@ -147,19 +183,26 @@ type Op struct {
 	buckets [NumBuckets]atomic.Int64
 }
 
-func newOp() *Op {
-	o := &Op{}
+func newOp(reg *Registry, name string) *Op {
+	o := &Op{name: name, reg: reg}
 	o.durMin.Store(math.MaxInt64)
 	return o
 }
 
-// Start begins a span on o. On a nil Op the returned zero Span is a
-// no-op and no clock is read.
-func (o *Op) Start() Span {
+// Name returns the operation's registered name ("" on a nil Op).
+func (o *Op) Name() string {
 	if o == nil {
-		return Span{}
+		return ""
 	}
-	return Span{op: o, start: time.Now()}
+	return o.name
+}
+
+// Start begins a root span on o. On a nil Op the returned zero Span is
+// a no-op and no clock is read. When the registry carries a tracer, the
+// span also emits a begin event on the main track; use Span.Child /
+// Span.Fork to build a hierarchy under it.
+func (o *Op) Start() Span {
+	return Span{}.child(o, false)
 }
 
 // Observe records one completed event with an externally measured
@@ -214,10 +257,77 @@ func (o *Op) record(d time.Duration, bytes int64, failed bool) {
 
 // Span is an in-flight timed operation. The zero Span (from a nil Op or
 // Registry) is a valid no-op. Spans are values: copy them freely, end
-// them exactly once.
+// them exactly once. A span carries its trace context (id and track)
+// when the registry has a tracer attached; Child and Fork create nested
+// spans under it — Child on the same track, Fork on a fresh lane for
+// streams that run concurrently with their parent.
 type Span struct {
 	op    *Op
-	start time.Time
+	start int64 // ns since the registry epoch
+	tr    *Tracer
+	id    uint64
+	track uint64
+}
+
+// Registry returns the registry the span records to (nil for the zero
+// span), letting deep layers resolve additional ops without threading
+// the registry separately.
+func (s Span) Registry() *Registry {
+	if s.op == nil {
+		return nil
+	}
+	return s.op.reg
+}
+
+// Child begins a nested span on the named op of the parent's registry,
+// on the parent's track. On a zero parent it returns a zero (no-op)
+// span. Hot paths should resolve the *Op once and use ChildOp.
+func (s Span) Child(name string) Span {
+	if s.op == nil {
+		return Span{}
+	}
+	return s.child(s.op.reg.Op(name), false)
+}
+
+// ChildOp begins a nested span on a pre-resolved op, on the parent's
+// track. Unlike Child it records metrics even when the parent is the
+// zero span (the trace span then becomes a root), so layers can accept
+// an optional parent without losing instrumentation.
+func (s Span) ChildOp(op *Op) Span { return s.child(op, false) }
+
+// Fork is Child on a freshly allocated track (lane): use it for the
+// root span of work that runs concurrently with its parent — a worker
+// goroutine, a parallel per-topic stream — so each concurrent stream
+// renders as its own timeline lane with a stable, disjoint track id.
+func (s Span) Fork(name string) Span {
+	if s.op == nil {
+		return Span{}
+	}
+	return s.child(s.op.reg.Op(name), true)
+}
+
+// ForkOp is Fork on a pre-resolved op (see ChildOp for the zero-parent
+// semantics).
+func (s Span) ForkOp(op *Op) Span { return s.child(op, true) }
+
+func (s Span) child(op *Op, fork bool) Span {
+	if op == nil {
+		return Span{}
+	}
+	c := Span{op: op, start: op.reg.now()}
+	if tr := op.reg.tracer.Load(); tr != nil {
+		var parent, track uint64
+		if s.tr == tr { // inherit context only within the same trace
+			parent, track = s.id, s.track
+		}
+		if fork {
+			track = tr.NewTrack()
+		}
+		c.tr = tr
+		c.track = track
+		c.id = tr.Begin(op.name, c.start, parent, track)
+	}
+	return c
 }
 
 // End records the span with no payload bytes.
@@ -228,15 +338,24 @@ func (s Span) EndBytes(bytes int64) {
 	if s.op == nil {
 		return
 	}
-	s.op.record(time.Since(s.start), bytes, false)
+	end := s.op.reg.now()
+	s.op.record(time.Duration(end-s.start), bytes, false)
+	if s.tr != nil {
+		s.tr.End(s.op.name, end, s.id, s.track)
+	}
 }
 
 // EndErr records the span, counting it as failed when err is non-nil.
+// The span's Count and Errors each increment exactly once.
 func (s Span) EndErr(err error) {
 	if s.op == nil {
 		return
 	}
-	s.op.record(time.Since(s.start), 0, err != nil)
+	end := s.op.reg.now()
+	s.op.record(time.Duration(end-s.start), 0, err != nil)
+	if s.tr != nil {
+		s.tr.End(s.op.name, end, s.id, s.track)
+	}
 }
 
 // BucketLow returns the inclusive lower bound (in nanoseconds) of

@@ -95,6 +95,55 @@ func (o *Op) snapshot() OpSnapshot {
 	return s
 }
 
+// Delta returns the activity between prev and s (s minus prev, where
+// prev is an earlier snapshot of the same registry): counters and op
+// count/error/byte/duration totals subtract, histogram buckets subtract
+// bucket-wise, and instruments with no activity in the interval are
+// omitted. MinNs/MaxNs are cumulative extrema, not interval extrema, so
+// the interval's values from s are carried through as-is. Phase-scoped
+// sidecars (e.g. borabench's organize vs. query files) are built from
+// this.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			if out.Counters == nil {
+				out.Counters = map[string]int64{}
+			}
+			out.Counters[name] = d
+		}
+	}
+	for name, o := range s.Ops {
+		p := prev.Ops[name]
+		d := OpSnapshot{
+			Count:   o.Count - p.Count,
+			Errors:  o.Errors - p.Errors,
+			Bytes:   o.Bytes - p.Bytes,
+			TotalNs: o.TotalNs - p.TotalNs,
+		}
+		prevBuckets := make(map[int64]int64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			prevBuckets[b.LowNs] = b.Count
+		}
+		for _, b := range o.Buckets {
+			if n := b.Count - prevBuckets[b.LowNs]; n > 0 {
+				d.Buckets = append(d.Buckets, Bucket{LowNs: b.LowNs, Count: n})
+			}
+		}
+		if d.Count == 0 && d.Errors == 0 && d.Bytes == 0 && d.TotalNs == 0 && len(d.Buckets) == 0 {
+			continue
+		}
+		if len(d.Buckets) > 0 {
+			d.MinNs, d.MaxNs = o.MinNs, o.MaxNs
+		}
+		if out.Ops == nil {
+			out.Ops = map[string]OpSnapshot{}
+		}
+		out.Ops[name] = d
+	}
+	return out
+}
+
 // JSON encodes the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")

@@ -32,10 +32,15 @@ type Options struct {
 	QueueDepth int
 	// Obs receives the pipeline's metrics: organizer.dispatch (scanner-side
 	// routing latency), organizer.enqueue_stall (time spent blocked on a
-	// full worker queue), organizer.append (worker-side sink latency), and
-	// the organizer.dropped_messages/_bytes counters. Nil disables
-	// recording.
+	// full worker queue), organizer.worker (per-goroutine pool lifetime),
+	// organizer.append (worker-side sink latency), and the
+	// organizer.dropped_messages/_bytes counters. Nil disables recording.
 	Obs *obs.Registry
+	// Parent nests the pipeline's trace spans under an enclosing span
+	// (typically core.duplicate): dispatches become its children and each
+	// worker goroutine forks its own trace lane from it. The zero Span is
+	// fine — spans then trace as roots.
+	Parent obs.Span
 }
 
 func (o *Options) fill() {
@@ -83,9 +88,11 @@ type Distributor struct {
 	stats   Stats
 	closed  bool
 
+	parent       obs.Span
 	dispatchOp   *obs.Op
 	stallOp      *obs.Op
 	appendOp     *obs.Op
+	workerOp     *obs.Op
 	droppedMsgs  *obs.Counter
 	droppedBytes *obs.Counter
 }
@@ -98,9 +105,11 @@ func New(create func(conn *bagio.Connection) (TopicSink, error), opts Options) *
 		opts:         opts,
 		create:       create,
 		sinks:        map[string]TopicSink{},
+		parent:       opts.Parent,
 		dispatchOp:   opts.Obs.Op("organizer.dispatch"),
 		stallOp:      opts.Obs.Op("organizer.enqueue_stall"),
 		appendOp:     opts.Obs.Op("organizer.append"),
+		workerOp:     opts.Obs.Op("organizer.worker"),
 		droppedMsgs:  opts.Obs.Counter("organizer.dropped_messages"),
 		droppedBytes: opts.Obs.Counter("organizer.dropped_bytes"),
 	}
@@ -117,12 +126,17 @@ func New(create func(conn *bagio.Connection) (TopicSink, error), opts Options) *
 
 func (d *Distributor) runWorker(ch <-chan workItem) {
 	defer d.wg.Done()
+	// Each worker forks its own trace lane off the pipeline's parent span,
+	// so concurrent workers render as separate timelines; its appends nest
+	// under the lane span.
+	wsp := d.parent.ForkOp(d.workerOp)
+	defer wsp.End()
 	for item := range ch {
 		if d.failed() {
 			d.noteDropped(item)
 			continue // drain
 		}
-		sp := d.appendOp.Start()
+		sp := wsp.ChildOp(d.appendOp)
 		if err := item.sink.Append(item.time, item.payload); err != nil {
 			sp.EndErr(err)
 			d.fail(err)
@@ -181,7 +195,7 @@ func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []b
 	if err := d.firstErr(); err != nil {
 		return err
 	}
-	sp := d.dispatchOp.Start()
+	sp := d.parent.ChildOp(d.dispatchOp)
 	sink, ok := d.sinks[conn.Topic]
 	if !ok {
 		var err error
@@ -206,7 +220,7 @@ func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []b
 		// Queue full: the scanner outruns this worker. Record how long the
 		// Fig 6 pipeline stalls — the back-pressure the paper's "a few other
 		// threads" sizing argument is about.
-		stall := d.stallOp.Start()
+		stall := sp.ChildOp(d.stallOp)
 		ch <- item
 		stall.End()
 	}

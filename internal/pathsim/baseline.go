@@ -46,6 +46,8 @@ func topicSet(bag *layout.Bag, topics []string) map[int]bool {
 func BaselineOpen(env simio.Env, bag *layout.Bag) time.Duration {
 	start := env.Clock().Elapsed()
 	sw := env.Software()
+	sp := env.Clock().StartOp("rosbag.open")
+	defer sp.End()
 	// Magic + fixed-size bag header record.
 	env.RandRead(13 + 4096)
 	// Seek to index_pos and stream the index section.
@@ -104,6 +106,8 @@ func BaselineQueryTopics(env simio.Env, bag *layout.Bag, topics []string) time.D
 	start := env.Clock().Elapsed()
 	want := topicSet(bag, topics)
 	sw := env.Software()
+	sp := env.Clock().StartOp("rosbag.read")
+	defer sp.End()
 	for ci := range bag.Chunks {
 		msgs, bytes := chunkWanted(bag, ci, want)
 		if msgs == 0 {
@@ -161,6 +165,8 @@ func BaselineQueryTime(env simio.Env, bag *layout.Bag, topics []string, startNs,
 	start := env.Clock().Elapsed()
 	want := topicSet(bag, topics)
 	sw := env.Software()
+	sp := env.Clock().StartOp("rosbag.read")
+	defer sp.End()
 	first, last, ok := bag.ChunksOverlapping(startNs, endNs)
 	if !ok {
 		return env.Clock().Elapsed() - start
@@ -209,7 +215,9 @@ func BaselineWrite(env simio.Env, bag *layout.Bag) time.Duration {
 // source-side cost of a copy).
 func BaselineRead(env simio.Env, bag *layout.Bag) time.Duration {
 	start := env.Clock().Elapsed()
+	sp := env.Clock().StartOp("rosbag.scan")
 	env.Metadata()
 	env.RandRead(bag.FileBytes())
+	sp.EndBytes(bag.FileBytes())
 	return env.Clock().Elapsed() - start
 }

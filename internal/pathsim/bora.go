@@ -48,10 +48,13 @@ func windowsTouched(startNs, endNs int64, window time.Duration) int64 {
 func BoraDuplicate(env simio.Env, bag *layout.Bag, window time.Duration) time.Duration {
 	start := env.Clock().Elapsed()
 	sw := env.Software()
+	sp := env.Clock().StartOp("core.duplicate")
 	env.CPU(captureSetup)
 	// Read the source sequentially, once.
+	scan := sp.Child("rosbag.scan")
 	env.Metadata()
 	env.RandRead(bag.FileBytes())
+	scan.EndBytes(bag.FileBytes())
 	// Create the container and topic sub-directories.
 	env.Metadata()
 	for range bag.Topics {
@@ -64,6 +67,7 @@ func BoraDuplicate(env simio.Env, bag *layout.Bag, window time.Duration) time.Du
 	env.CPU(time.Duration(totalMsgs) * sw.FUSEOp)
 	for i := range bag.Topics {
 		t := &bag.Topics[i]
+		app := sp.Child("organizer.append")
 		env.SeqWrite(t.Bytes)
 		switches := t.Count / streamSwitchEvery
 		for s := 0; s < switches; s++ {
@@ -73,7 +77,9 @@ func BoraDuplicate(env simio.Env, bag *layout.Bag, window time.Duration) time.Du
 		// Persist index and coarse time index.
 		env.SeqWrite(int64(t.Count) * containerIndexEntryBytes)
 		env.SeqWrite(timeIdxBytes(bag, i, window))
+		app.EndBytes(t.Bytes)
 	}
+	sp.EndBytes(bag.TotalBytes)
 	return env.Clock().Elapsed() - start
 }
 
@@ -100,6 +106,8 @@ func BoraCopyContainer(env simio.Env, bag *layout.Bag, window time.Duration) tim
 func BoraOpen(env simio.Env, bag *layout.Bag) time.Duration {
 	start := env.Clock().Elapsed()
 	sw := env.Software()
+	sp := env.Clock().StartOp("core.open")
+	defer sp.End()
 	env.CPU(sw.FUSEOp)
 	env.Metadata() // readdir on the container root
 	for range bag.Topics {
@@ -122,19 +130,27 @@ func BoraQueryTopics(env simio.Env, bag *layout.Bag, topics []string) time.Durat
 	start := env.Clock().Elapsed()
 	want := topicSet(bag, topics)
 	sw := env.Software()
+	sp := env.Clock().StartOp("core.read")
+	var total int64
 	for ti := range bag.Topics {
 		if !want[ti] {
 			continue
 		}
 		t := &bag.Topics[ti]
+		tsp := sp.Child("core.read_topic")
 		env.CPU(sw.FUSEOp) // BORA-Lib call + tag lookup
 		env.Metadata()     // open data file
 		// Load the topic's index, then stream the data file.
+		idx := tsp.Child("container.index_load")
 		env.RandRead(int64(t.Count) * containerIndexEntryBytes)
 		env.CPU(time.Duration(t.Count) * sw.IndexEntry)
+		idx.EndBytes(int64(t.Count) * containerIndexEntryBytes)
 		env.RandRead(t.Bytes)
 		env.CPU(time.Duration(t.Count) * sw.MsgYield)
+		tsp.EndBytes(t.Bytes)
+		total += t.Bytes
 	}
+	sp.EndBytes(total)
 	return env.Clock().Elapsed() - start
 }
 
@@ -152,11 +168,14 @@ func BoraQueryTime(env simio.Env, bag *layout.Bag, topics []string, startNs, end
 	if endNs < startNs {
 		return 0
 	}
+	sp := env.Clock().StartOp("core.read_time")
+	var total int64
 	for ti := range bag.Topics {
 		if !want[ti] {
 			continue
 		}
 		t := &bag.Topics[ti]
+		tsp := sp.Child("core.read_topic")
 		env.CPU(sw.FUSEOp)
 		env.Metadata()
 		// Coarse index load + window arithmetic.
@@ -174,6 +193,9 @@ func BoraQueryTime(env simio.Env, bag *layout.Bag, topics []string, startNs, end
 		env.CPU(time.Duration(msgs) * sw.IndexEntry) // fine-grain filter
 		env.RandRead(bytes)                          // one seek + window-bounded sequential read
 		env.CPU(time.Duration(msgs) * sw.MsgYield)
+		tsp.EndBytes(bytes)
+		total += bytes
 	}
+	sp.EndBytes(total)
 	return env.Clock().Elapsed() - start
 }

@@ -23,16 +23,27 @@ func Scan(r io.ReaderAt, size int64, fn ScanFunc) error {
 }
 
 // ScanObs is Scan recording the pass to reg as one rosbag.scan span
-// carrying the total payload bytes delivered. A nil registry disables
-// recording.
+// carrying the total payload bytes delivered, with one rosbag.scan_chunk
+// child span per chunk. A nil registry disables recording.
 func ScanObs(r io.ReaderAt, size int64, reg *obs.Registry, fn ScanFunc) error {
+	return scanObs(r, size, obs.Span{}, reg, fn)
+}
+
+// ScanSpan is ScanObs nested under parent: the rosbag.scan span becomes
+// a child of parent's trace context and records to parent's registry. A
+// zero parent disables recording.
+func ScanSpan(r io.ReaderAt, size int64, parent obs.Span, fn ScanFunc) error {
+	return scanObs(r, size, parent, parent.Registry(), fn)
+}
+
+func scanObs(r io.ReaderAt, size int64, parent obs.Span, reg *obs.Registry, fn ScanFunc) error {
 	op := reg.Op("rosbag.scan")
 	if op == nil {
-		return scan(r, size, fn)
+		return scan(r, size, obs.Span{}, nil, fn)
 	}
-	sp := op.Start()
+	sp := parent.ChildOp(op)
 	var delivered int64
-	err := scan(r, size, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
+	err := scan(r, size, sp, reg.Op("rosbag.scan_chunk"), func(conn *bagio.Connection, t bagio.Time, data []byte) error {
 		delivered += int64(len(data))
 		return fn(conn, t, data)
 	})
@@ -44,7 +55,7 @@ func ScanObs(r io.ReaderAt, size int64, reg *obs.Registry, fn ScanFunc) error {
 	return nil
 }
 
-func scan(r io.ReaderAt, size int64, fn ScanFunc) error {
+func scan(r io.ReaderAt, size int64, sp obs.Span, chunkOp *obs.Op, fn ScanFunc) error {
 	sc := bagio.NewRecordScanner(io.NewSectionReader(r, 0, size))
 	if err := sc.ReadMagic(); err != nil {
 		return err
@@ -84,13 +95,17 @@ func scan(r io.ReaderAt, size int64, fn ScanFunc) error {
 		}
 		switch op {
 		case bagio.OpChunk:
+			csp := sp.ChildOp(chunkOp)
 			inner, err := bagio.DecodeChunk(rec)
 			if err != nil {
+				csp.EndErr(err)
 				return err
 			}
 			if err := scanChunkRecords(inner, conns, fn); err != nil {
+				csp.EndErr(err)
 				return err
 			}
+			csp.EndBytes(int64(len(inner)))
 		case bagio.OpIndexData:
 			// Interleaved per-chunk index records: not needed.
 		case bagio.OpConnection:

@@ -16,12 +16,21 @@ package simio
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Clock accrues virtual time. The zero value is ready for use.
 type Clock struct {
 	elapsed time.Duration
 	ops     OpCounts
+
+	// Optional observability attachment (AttachObs): simulated operations
+	// record sim-time histograms and trace spans whose timestamps are the
+	// virtual elapsed time, under the same op names as the real path.
+	reg   *obs.Registry
+	tr    *obs.Tracer
+	track uint64
 }
 
 // OpCounts tallies simulated operations by kind.
@@ -48,8 +57,69 @@ func (c *Clock) Advance(d time.Duration) {
 	}
 }
 
-// Reset zeroes the clock.
+// Reset zeroes the clock's time and op counts. The observability
+// attachment, if any, is kept.
 func (c *Clock) Reset() { c.elapsed = 0; c.ops = OpCounts{} }
+
+// AttachObs routes the clock's simulated operations to reg: Span-like
+// sim ops (StartOp) record per-op histograms whose durations are
+// VIRTUAL time deltas, and — when reg carries a tracer — emit trace
+// events timestamped in virtual time. Each attached clock takes its own
+// trace lane, so e.g. the baseline and BORA replays of one experiment
+// render side by side. A nil registry detaches.
+func (c *Clock) AttachObs(reg *obs.Registry) {
+	c.reg = reg
+	c.tr = reg.Tracer()
+	if c.tr != nil {
+		c.track = c.tr.NewTrack()
+	}
+}
+
+// Span is an in-flight simulated operation: its duration is the virtual
+// time the clock accrues between StartOp and End, recorded to the
+// attached registry's op histogram and (when tracing) as a sim-time
+// trace span. The zero Span is a valid no-op.
+type Span struct {
+	c      *Clock
+	op     *obs.Op
+	start  time.Duration
+	id     uint64
+	parent uint64
+}
+
+// StartOp begins a simulated span on the named op. On a clock with no
+// registry attached the returned zero Span is a no-op.
+func (c *Clock) StartOp(name string) Span {
+	if c == nil || c.reg == nil {
+		return Span{}
+	}
+	s := Span{c: c, op: c.reg.Op(name), start: c.elapsed}
+	s.id = c.tr.Begin(name, int64(c.elapsed), 0, c.track)
+	return s
+}
+
+// Child begins a nested simulated span under s, on the same clock and
+// trace lane.
+func (s Span) Child(name string) Span {
+	if s.c == nil {
+		return Span{}
+	}
+	cs := Span{c: s.c, op: s.c.reg.Op(name), start: s.c.elapsed, parent: s.id}
+	cs.id = s.c.tr.Begin(name, int64(s.c.elapsed), s.id, s.c.track)
+	return cs
+}
+
+// End records the span with no payload bytes.
+func (s Span) End() { s.EndBytes(0) }
+
+// EndBytes records the span's virtual duration and payload volume.
+func (s Span) EndBytes(bytes int64) {
+	if s.c == nil {
+		return
+	}
+	s.op.Observe(s.c.elapsed-s.start, bytes)
+	s.c.tr.End(s.op.Name(), int64(s.c.elapsed), s.id, s.c.track)
+}
 
 // Device models one storage device with positioning latency and
 // sequential bandwidth. RandomRead/RandomWrite pay the positioning cost;

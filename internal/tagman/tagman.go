@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -140,6 +142,16 @@ func Build(paths map[string]string) *Table {
 	for topic, path := range paths {
 		t.Put(topic, path)
 	}
+	return t
+}
+
+// BuildSpan is Build recorded as a tagman.build child span of parent —
+// the on-the-fly hash-table construction cost of Table I, nested under
+// the open that triggered it. A zero parent records nothing.
+func BuildSpan(paths map[string]string, parent obs.Span) *Table {
+	sp := parent.Child("tagman.build")
+	t := Build(paths)
+	sp.End()
 	return t
 }
 

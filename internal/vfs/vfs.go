@@ -126,7 +126,7 @@ func (fs *FS) Stat(name string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	bag, err := fs.backend.Open(base)
+	bag, err := fs.backend.OpenSpan(base, sp)
 	if err != nil {
 		return 0, err
 	}
@@ -207,7 +207,7 @@ func (w *WriteFile) Close() error {
 		return err
 	}
 	defer os.Remove(w.path)
-	if _, _, err := w.fs.backend.Duplicate(w.path, w.base); err != nil {
+	if _, _, err := w.fs.backend.DuplicateSpan(w.path, w.base, sp); err != nil {
 		return fmt.Errorf("vfs: organize %s: %w", w.base, err)
 	}
 	return nil
@@ -237,7 +237,7 @@ func (fs *FS) Open(name string) (*ReadFile, error) {
 		sp.EndErr(err)
 		return nil, err
 	}
-	bag, err := fs.backend.Open(base)
+	bag, err := fs.backend.OpenSpan(base, sp)
 	if err != nil {
 		sp.EndErr(err)
 		return nil, err
@@ -253,7 +253,7 @@ func (fs *FS) Open(name string) (*ReadFile, error) {
 		sp.EndErr(err)
 		return nil, err
 	}
-	if err := bag.Export(f, rosbag.WriterOptions{}); err != nil {
+	if err := bag.ExportSpan(f, rosbag.WriterOptions{}, sp); err != nil {
 		return fail(fmt.Errorf("vfs: reconstruct %s: %w", base, err))
 	}
 	st, err := f.Stat()
