@@ -4,9 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bagio"
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/replay"
@@ -197,4 +199,69 @@ func topicsOf(r *rosbag.Reader) map[string]bool {
 		out[t] = true
 	}
 	return out
+}
+
+// cmdFsck checks one container's on-disk consistency and optionally
+// repairs it (borabag's fsck: detect torn writes, truncated indexes and
+// stale metadata left by a crash, then truncate back to the last
+// consistent state).
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	backend := backendFlag(fs)
+	name := fs.String("name", "", "logical bag name (required)")
+	repair := fs.Bool("repair", false, "repair the container in place after checking")
+	quiet := fs.Bool("q", false, "suppress per-finding output")
+	fs.Parse(args)
+	if *backend == "" || *name == "" {
+		return fmt.Errorf("fsck: -backend and -name are required")
+	}
+	root := filepath.Join(*backend, *name)
+	if _, err := os.Stat(root); err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+
+	sp := metricsReg.Op("fsck.scan").Start()
+	rep, err := container.Fsck(root)
+	if err != nil {
+		sp.EndErr(err)
+		return fmt.Errorf("fsck: %w", err)
+	}
+	sp.End()
+	metricsReg.Counter("fsck.findings").Add(int64(len(rep.Findings)))
+	printFindings := func(rep *container.Report) {
+		if *quiet {
+			return
+		}
+		for _, f := range rep.Findings {
+			loc := f.Topic
+			if loc == "" {
+				loc = f.Path
+			}
+			fmt.Printf("%-22s %-32s %s\n", f.Kind, loc, f.Detail)
+		}
+	}
+	printFindings(rep)
+	if rep.Clean() {
+		fmt.Printf("%s: clean (%d topics)\n", root, rep.Topics)
+		return nil
+	}
+	fmt.Printf("%s: %d findings across %d topics\n", root, len(rep.Findings), rep.Topics)
+	if !*repair {
+		return fmt.Errorf("fsck: container is damaged (re-run with -repair to fix)")
+	}
+
+	rsp := metricsReg.Op("fsck.repair").Start()
+	after, err := container.Repair(root)
+	if err != nil {
+		rsp.EndErr(err)
+		return fmt.Errorf("fsck: repair: %w", err)
+	}
+	rsp.End()
+	metricsReg.Counter("fsck.repaired").Add(1)
+	if !after.Clean() {
+		printFindings(after)
+		return fmt.Errorf("fsck: container still damaged after repair (%d findings)", len(after.Findings))
+	}
+	fmt.Printf("%s: repaired, now clean (%d topics)\n", root, after.Topics)
+	return nil
 }

@@ -104,6 +104,8 @@ globalFlags:
 		err = cmdReindex(args[1:])
 	case "rebag":
 		err = cmdRebag(args[1:])
+	case "fsck":
+		err = cmdFsck(args[1:])
 	case "verify":
 		err = cmdVerify(args[1:])
 	case "baginfo":
@@ -174,6 +176,7 @@ commands:
   reindex    salvage a damaged or unclosed bag (rosbag reindex)
   rebag      filter a BORA bag into a new logical bag
   verify     check a BORA bag's container integrity (CRC + index)
+  fsck       check a container for crash damage and optionally repair it
   baginfo    summarize a BORA bag (rosbag info over the container)
   play       replay a bag's messages in timestamp order (rosbag play)
 `)

@@ -210,8 +210,10 @@ func DecodeIndexData(r *Record) (*IndexData, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint32(len(r.Data)) != count*12 {
-		return nil, fmt.Errorf("bagio: index data block is %d bytes, want %d for %d entries", len(r.Data), count*12, count)
+	// Compare in uint64: count*12 would wrap in uint32 arithmetic, letting a
+	// huge count match a small data block and over-allocate below.
+	if uint64(len(r.Data)) != uint64(count)*12 {
+		return nil, fmt.Errorf("bagio: index data block is %d bytes, want %d for %d entries", len(r.Data), uint64(count)*12, count)
 	}
 	ix.Entries = make([]IndexEntry, count)
 	for i := range ix.Entries {
@@ -285,8 +287,10 @@ func DecodeChunkInfo(r *Record) (*ChunkInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint32(len(r.Data)) != count*8 {
-		return nil, fmt.Errorf("bagio: chunk info block is %d bytes, want %d for %d connections", len(r.Data), count*8, count)
+	// Compare in uint64: count*8 wraps in uint32 arithmetic (same class of
+	// overflow as DecodeIndexData).
+	if uint64(len(r.Data)) != uint64(count)*8 {
+		return nil, fmt.Errorf("bagio: chunk info block is %d bytes, want %d for %d connections", len(r.Data), uint64(count)*8, count)
 	}
 	ci.Counts = make(map[uint32]uint32, count)
 	for i := uint32(0); i < count; i++ {
@@ -349,25 +353,35 @@ func DecodeChunk(r *Record) ([]byte, error) {
 	}
 	switch ch.Compression {
 	case CompressionNone:
-		if uint32(len(r.Data)) != ch.UncompressedSize {
+		if uint64(len(r.Data)) != uint64(ch.UncompressedSize) {
 			return nil, fmt.Errorf("bagio: uncompressed chunk is %d bytes, header says %d", len(r.Data), ch.UncompressedSize)
 		}
 		return r.Data, nil
 	case CompressionGZ:
+		if ch.UncompressedSize > MaxRecordLen {
+			return nil, fmt.Errorf("bagio: chunk uncompressed size %d exceeds limit", ch.UncompressedSize)
+		}
 		zr, err := gzip.NewReader(bytes.NewReader(r.Data))
 		if err != nil {
 			return nil, fmt.Errorf("bagio: decompress chunk: %w", err)
 		}
-		out := make([]byte, 0, ch.UncompressedSize)
-		buf := bytes.NewBuffer(out)
-		if _, err := io.Copy(buf, zr); err != nil {
+		// The size field is untrusted until the stream actually yields that
+		// many bytes: cap the preallocation and bound the copy one byte past
+		// the declared size so an inflated stream errors instead of growing.
+		prealloc := ch.UncompressedSize
+		if prealloc > 1<<20 {
+			prealloc = 1 << 20
+		}
+		buf := bytes.NewBuffer(make([]byte, 0, prealloc))
+		n, err := io.Copy(buf, io.LimitReader(zr, int64(ch.UncompressedSize)+1))
+		if err != nil {
 			return nil, fmt.Errorf("bagio: decompress chunk: %w", err)
 		}
-		if err := zr.Close(); err != nil {
+		if err := zr.Close(); err != nil && n <= int64(ch.UncompressedSize) {
 			return nil, fmt.Errorf("bagio: decompress chunk: %w", err)
 		}
-		if uint32(buf.Len()) != ch.UncompressedSize {
-			return nil, fmt.Errorf("bagio: decompressed chunk is %d bytes, header says %d", buf.Len(), ch.UncompressedSize)
+		if n != int64(ch.UncompressedSize) {
+			return nil, fmt.Errorf("bagio: decompressed chunk is %d bytes, header says %d", n, ch.UncompressedSize)
 		}
 		return buf.Bytes(), nil
 	default:

@@ -2,6 +2,7 @@ package bagio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -118,12 +119,22 @@ func (rs *RecordScanner) readBlock(kind string) ([]byte, error) {
 	if n > MaxRecordLen {
 		return nil, fmt.Errorf("bagio: %s length %d at offset %d exceeds limit", kind, n, rs.off-4)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(rs.r, buf); err != nil {
+	// The length prefix is untrusted: cap the up-front allocation and let
+	// the buffer grow only as bytes actually arrive, so a corrupt prefix
+	// near MaxRecordLen on a tiny stream cannot allocate gigabytes.
+	prealloc := n
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	bb := bytes.NewBuffer(make([]byte, 0, prealloc))
+	if _, err := io.CopyN(bb, rs.r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("bagio: read %s of %d bytes at offset %d: %w", kind, n, rs.off, err)
 	}
 	rs.off += int64(n)
-	return buf, nil
+	return bb.Bytes(), nil
 }
 
 // ReadRecord reads the next record. It returns io.EOF at a clean end of

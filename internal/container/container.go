@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/bagio"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/stripe"
 )
@@ -84,6 +85,7 @@ func DecodeTopicDir(dir string) string {
 // Container is an open BORA container rooted at a back-end directory.
 type Container struct {
 	root   string
+	fs     faultfs.Backend   // write path: every mutation goes through it
 	topics map[string]*Topic // keyed by topic name
 
 	indexLoadOp *obs.Op // container.index_load: lazy index-file parses
@@ -125,9 +127,18 @@ type Topic struct {
 }
 
 // Create initializes an empty container at root (which must not exist or
-// must be an empty directory).
+// must be an empty directory). The container is born in the building
+// state and must be Sealed once its topics are complete; until then
+// Open and back-end listings refuse it.
 func Create(root string) (*Container, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return CreateFS(root, faultfs.OS)
+}
+
+// CreateFS is Create with the file-system mutations routed through fs
+// (see internal/faultfs); production callers pass faultfs.OS.
+func CreateFS(root string, fs faultfs.Backend) (*Container, error) {
+	fs = faultfs.Or(fs)
+	if err := fs.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("container: create root: %w", err)
 	}
 	ents, err := os.ReadDir(root)
@@ -137,10 +148,10 @@ func Create(root string) (*Container, error) {
 	if len(ents) > 0 {
 		return nil, fmt.Errorf("container: %s is not empty", root)
 	}
-	if err := os.WriteFile(filepath.Join(root, MetaFileName), []byte("bora-container v1\n"), 0o644); err != nil {
-		return nil, fmt.Errorf("container: write meta: %w", err)
+	if err := writeMeta(fs, root, &Meta{Version: 2, State: StateBuilding}); err != nil {
+		return nil, err
 	}
-	return &Container{root: root, topics: map[string]*Topic{}}, nil
+	return &Container{root: root, fs: fs, topics: map[string]*Topic{}}, nil
 }
 
 // Open opens an existing container, discovering topic sub-directories.
@@ -148,15 +159,18 @@ func Create(root string) (*Container, error) {
 // lists the directory and reads only the small per-topic connection
 // files — it does not touch data or index files.
 func Open(root string) (*Container, error) {
-	meta := filepath.Join(root, MetaFileName)
-	if _, err := os.Stat(meta); err != nil {
+	meta, err := ReadMeta(root)
+	if err != nil {
 		return nil, fmt.Errorf("container: %s is not a BORA container: %w", root, err)
+	}
+	if !meta.Sealed() {
+		return nil, fmt.Errorf("container: %s: %w", root, ErrUnsealed)
 	}
 	ents, err := os.ReadDir(root)
 	if err != nil {
 		return nil, err
 	}
-	c := &Container{root: root, topics: map[string]*Topic{}}
+	c := &Container{root: root, fs: faultfs.OS, topics: map[string]*Topic{}}
 	for _, ent := range ents {
 		if !ent.IsDir() {
 			continue
@@ -233,7 +247,18 @@ func (c *Container) TopicPath(name string) (string, error) {
 type TopicOptions struct {
 	Stripes    int
 	StripeSize int64
+	// IndexFlushEvery persists buffered index entries to the index file
+	// after every N appends (≤ 0 selects DefaultIndexFlushEvery). The
+	// data payload is always written before its entry is flushed, so a
+	// flushed index never references unwritten data; smaller values
+	// shrink the window of messages a crash can lose at the cost of
+	// more small writes.
+	IndexFlushEvery int
 }
+
+// DefaultIndexFlushEvery bounds how many appended messages can be
+// unindexed (and therefore lost to repair-by-truncation) at a crash.
+const DefaultIndexFlushEvery = 256
 
 // CreateTopic adds a topic sub-directory for conn and returns a writer
 // for appending its messages. The writer must be closed to persist the
@@ -248,11 +273,14 @@ func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (
 		return nil, fmt.Errorf("container: topic %q already exists", conn.Topic)
 	}
 	dir := filepath.Join(c.root, EncodeTopicDir(conn.Topic))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if opts.Stripes > 1 && opts.StripeSize <= 0 {
 		opts.StripeSize = stripe.DefaultStripeSize
+	}
+	if opts.IndexFlushEvery <= 0 {
+		opts.IndexFlushEvery = DefaultIndexFlushEvery
 	}
 	h := make(bagio.Header)
 	h.PutU32("conn", conn.ID)
@@ -264,23 +292,31 @@ func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (
 		h.PutU32("stripes", uint32(opts.Stripes))
 		h.PutU64("stripe_size", uint64(opts.StripeSize))
 	}
-	if err := os.WriteFile(filepath.Join(dir, ConnFileName), h.Encode(), 0o644); err != nil {
+	if err := faultfs.WriteFileAtomic(c.fs, filepath.Join(dir, ConnFileName), h.Encode(), 0o644); err != nil {
 		return nil, err
 	}
 	t := &Topic{dir: dir, topic: conn.Topic, conn: conn, loaded: true,
 		indexLoadOp: c.indexLoadOp}
-	tw := &TopicWriter{topic: t, crc: crc32.New(crcTable)}
+	tw := &TopicWriter{topic: t, fs: c.fs, crc: crc32.New(crcTable),
+		flushEvery: opts.IndexFlushEvery}
+	ixf, err := c.fs.Create(filepath.Join(dir, IndexFileName))
+	if err != nil {
+		return nil, err
+	}
+	tw.index = ixf
 	if opts.Stripes > 1 {
 		t.stripes = opts.Stripes
 		t.stripeSize = opts.StripeSize
 		sw, err := stripe.Create(dir, opts.Stripes, opts.StripeSize)
 		if err != nil {
+			ixf.Close()
 			return nil, err
 		}
 		tw.striped = sw
 	} else {
-		df, err := os.Create(filepath.Join(dir, DataFileName))
+		df, err := c.fs.Create(filepath.Join(dir, DataFileName))
 		if err != nil {
+			ixf.Close()
 			return nil, err
 		}
 		tw.data = df
@@ -291,13 +327,23 @@ func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (
 
 // TopicWriter appends messages to one topic of a container. It keeps a
 // running CRC of the data stream, persisted at Close for later Verify.
+// Index entries are flushed to the index file incrementally (after the
+// data they reference, never before), so a crash mid-stream leaves a
+// consistent indexed prefix for Repair to recover rather than losing
+// the whole topic.
 type TopicWriter struct {
 	topic   *Topic
-	data    *os.File       // single-file layout
+	fs      faultfs.Backend
+	data    faultfs.File   // single-file layout
 	striped *stripe.Writer // striped layout (nil when single-file)
-	crc     hash.Hash32
-	offset  uint64
-	closed  bool
+	index   faultfs.File
+
+	crc        hash.Hash32
+	offset     uint64
+	closed     bool
+	ixbuf      []byte // encoded entries not yet written to the index file
+	pending    int    // entries in ixbuf
+	flushEvery int
 }
 
 // Append writes one message payload and records its index entry.
@@ -313,37 +359,82 @@ func (tw *TopicWriter) Append(t bagio.Time, payload []byte) error {
 		return fmt.Errorf("container: append to %q: %w", tw.topic.topic, err)
 	}
 	tw.crc.Write(payload)
-	tw.topic.entries = append(tw.topic.entries, IndexEntry{
+	e := IndexEntry{
 		Time:           t,
 		LogicalOffset:  tw.offset,
 		Length:         uint32(len(payload)),
 		PhysicalOffset: tw.offset,
-	})
+	}
+	tw.topic.entries = append(tw.topic.entries, e)
 	tw.offset += uint64(len(payload))
+	n := len(tw.ixbuf)
+	tw.ixbuf = append(tw.ixbuf, make([]byte, IndexEntrySize)...)
+	e.encode(tw.ixbuf[n:])
+	tw.pending++
+	if tw.pending >= tw.flushEvery {
+		return tw.flushIndex()
+	}
 	return nil
 }
 
-// Close flushes the data file and persists the index file.
+// flushIndex appends the buffered index entries to the index file. Every
+// payload those entries describe has already been written, so the index
+// on disk never runs ahead of the data.
+func (tw *TopicWriter) flushIndex() error {
+	if tw.pending == 0 {
+		return nil
+	}
+	if _, err := tw.index.Write(tw.ixbuf); err != nil {
+		return fmt.Errorf("container: write index for %q: %w", tw.topic.topic, err)
+	}
+	tw.ixbuf = tw.ixbuf[:0]
+	tw.pending = 0
+	return nil
+}
+
+// Close flushes and syncs the data and index files and persists the
+// checksum record. The sync order (data, then index, then checksum)
+// matches the recovery invariant fsck assumes: anything the index
+// claims is backed by data, and a checksum only exists for a complete
+// topic.
 func (tw *TopicWriter) Close() error {
 	if tw.closed {
 		return nil
 	}
 	tw.closed = true
-	if tw.striped != nil {
-		if err := tw.striped.Close(); err != nil {
-			return err
+	if err := tw.flushIndex(); err != nil {
+		tw.index.Close()
+		if tw.striped != nil {
+			tw.striped.Close()
+		} else {
+			tw.data.Close()
 		}
-	} else if err := tw.data.Close(); err != nil {
 		return err
 	}
-	buf := make([]byte, len(tw.topic.entries)*IndexEntrySize)
-	for i, e := range tw.topic.entries {
-		e.encode(buf[i*IndexEntrySize:])
+	if tw.striped != nil {
+		if err := tw.striped.Close(); err != nil {
+			tw.index.Close()
+			return err
+		}
+	} else {
+		if err := tw.data.Sync(); err != nil {
+			tw.data.Close()
+			tw.index.Close()
+			return err
+		}
+		if err := tw.data.Close(); err != nil {
+			tw.index.Close()
+			return err
+		}
 	}
-	if err := os.WriteFile(filepath.Join(tw.topic.dir, IndexFileName), buf, 0o644); err != nil {
-		return fmt.Errorf("container: write index for %q: %w", tw.topic.topic, err)
+	if err := tw.index.Sync(); err != nil {
+		tw.index.Close()
+		return err
 	}
-	return writeChecksum(tw.topic.dir, tw.crc.Sum32(), int64(tw.offset))
+	if err := tw.index.Close(); err != nil {
+		return err
+	}
+	return writeChecksum(tw.fs, tw.topic.dir, tw.crc.Sum32(), int64(tw.offset))
 }
 
 // Name returns the topic name.

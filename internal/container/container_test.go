@@ -88,6 +88,9 @@ func TestTopicWriteReadRoundTrip(t *testing.T) {
 	if err := tw.Append(bagio.Time{}, nil); err == nil {
 		t.Error("Append after Close should fail")
 	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Re-open from disk to exercise the persisted state.
 	c2, err := Open(c.Root())
@@ -201,6 +204,9 @@ func TestEntriesRejectsCorruptIndex(t *testing.T) {
 	if err := os.WriteFile(idx, []byte("short"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
 	c2, err := Open(c.Root())
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +252,9 @@ func TestOpenDiscoversMultipleTopics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
 	c2, err := Open(c.Root())
 	if err != nil {
 		t.Fatal(err)
@@ -284,6 +293,9 @@ func TestStripedTopicRoundTrip(t *testing.T) {
 		}
 	}
 	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seal(); err != nil {
 		t.Fatal(err)
 	}
 

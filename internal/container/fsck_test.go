@@ -1,0 +1,312 @@
+package container
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/bagio"
+	"repro/internal/timeindex"
+)
+
+func newTimeIdxFromEntries(entries []IndexEntry) []byte {
+	tix := timeindex.New(0)
+	for i, e := range entries {
+		tix.Add(e.Time, uint32(i))
+	}
+	return tix.Marshal()
+}
+
+// buildSealedTopic writes a 20-message topic and seals the container.
+func buildSealedTopic(t *testing.T) (string, string) {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "bag")
+	c, err := Create(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := c.CreateTopic(&bagio.Connection{Topic: "/imu", Type: "sensor_msgs/Imu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tw.Append(bagio.Time{Sec: uint32(i)}, []byte{byte(i), byte(i + 1), byte(i + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The container layer does not write timeidx (core does); hand-write
+	// an empty one so fsck sees a complete topic.
+	dir := filepath.Join(root, EncodeTopicDir("/imu"))
+	writeTimeIdx(t, dir, c)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return root, dir
+}
+
+func writeTimeIdx(t *testing.T, dir string, c *Container) {
+	t.Helper()
+	topic, err := c.Topic("/imu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := topic.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tix := newTimeIdxFromEntries(entries)
+	if err := os.WriteFile(filepath.Join(dir, TimeIdxFileName), tix, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findingKinds(rep *Report) []FindingKind {
+	var out []FindingKind
+	for _, f := range rep.Findings {
+		out = append(out, f.Kind)
+	}
+	return out
+}
+
+func hasFinding(rep *Report, kind FindingKind) bool {
+	for _, f := range rep.Findings {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFsckCleanContainer(t *testing.T) {
+	root, _ := buildSealedTopic(t)
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean container has findings: %v", rep.Findings)
+	}
+	if rep.Topics != 1 {
+		t.Fatalf("Topics = %d", rep.Topics)
+	}
+}
+
+func TestFsckDetectsStaleMeta(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "bag")
+	if _, err := Create(root); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFinding(rep, FindingStaleMeta) {
+		t.Fatalf("findings = %v, want stale-meta", findingKinds(rep))
+	}
+}
+
+func TestFsckDetectsTruncatedIndexTailAndRepairs(t *testing.T) {
+	root, dir := buildSealedTopic(t)
+	ix := filepath.Join(dir, IndexFileName)
+	fi, err := os.Stat(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last entry: lop off 10 bytes.
+	if err := os.Truncate(ix, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFinding(rep, FindingTruncatedIndexTail) {
+		t.Fatalf("findings = %v, want truncated-index-tail", findingKinds(rep))
+	}
+	// The 19 whole entries no longer cover the data file.
+	if !hasFinding(rep, FindingIndexDataMismatch) {
+		t.Fatalf("findings = %v, want index-data-mismatch", findingKinds(rep))
+	}
+	after, err := Repair(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Fatalf("post-repair findings: %v", after.Findings)
+	}
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic, err := c.Topic("/imu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := topic.MessageCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 19 {
+		t.Fatalf("repaired topic has %d messages, want 19", n)
+	}
+	if res := topic.Verify(); !res.OK {
+		t.Fatalf("repaired topic fails verify: %s", res.Detail)
+	}
+}
+
+func TestFsckDetectsUnindexedDataTail(t *testing.T) {
+	root, dir := buildSealedTopic(t)
+	f, err := os.OpenFile(filepath.Join(dir, DataFileName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn payload never indexed")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFinding(rep, FindingIndexDataMismatch) {
+		t.Fatalf("findings = %v, want index-data-mismatch", findingKinds(rep))
+	}
+	if !hasFinding(rep, FindingChecksumMismatch) {
+		t.Fatalf("findings = %v, want checksum-mismatch", findingKinds(rep))
+	}
+	after, err := Repair(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Fatalf("post-repair findings: %v", after.Findings)
+	}
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic, _ := c.Topic("/imu")
+	if res := topic.Verify(); !res.OK || res.Messages != 20 {
+		t.Fatalf("repair lost indexed messages: %+v", res)
+	}
+}
+
+func TestFsckDetectsMissingTopicDir(t *testing.T) {
+	root, dir := buildSealedTopic(t)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFinding(rep, FindingMissingTopicDir) {
+		t.Fatalf("findings = %v, want missing-topic-dir", findingKinds(rep))
+	}
+	after, err := Repair(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Fatalf("post-repair findings: %v", after.Findings)
+	}
+	if _, err := Open(root); err != nil {
+		t.Fatalf("repaired container does not open: %v", err)
+	}
+}
+
+func TestFsckDetectsDebrisAndBadTimeIdx(t *testing.T) {
+	root, dir := buildSealedTopic(t)
+	if err := os.WriteFile(filepath.Join(dir, "checksum.tmp-777"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, TimeIdxFileName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFinding(rep, FindingTempDebris) || !hasFinding(rep, FindingBadTimeIdx) {
+		t.Fatalf("findings = %v, want temp-debris and bad-timeidx", findingKinds(rep))
+	}
+	after, err := Repair(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Fatalf("post-repair findings: %v", after.Findings)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checksum.tmp-777")); !os.IsNotExist(err) {
+		t.Error("debris survived repair")
+	}
+}
+
+func TestFsckDeterministicReport(t *testing.T) {
+	root, dir := buildSealedTopic(t)
+	ix := filepath.Join(dir, IndexFileName)
+	fi, _ := os.Stat(ix)
+	if err := os.Truncate(ix, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fsck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fsck reports differ across runs:\n%v\n%v", a.Findings, b.Findings)
+	}
+}
+
+func TestReadMetaLifecycle(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "bag")
+	c, err := Create(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMeta(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sealed() || m.State != StateBuilding || m.Version != 2 {
+		t.Fatalf("fresh meta = %+v", m)
+	}
+	if _, err := Open(root); err == nil {
+		t.Fatal("Open accepted an unsealed container")
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadMeta(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sealed() {
+		t.Fatalf("sealed meta = %+v", m)
+	}
+	if _, err := Open(root); err != nil {
+		t.Fatalf("Open after seal: %v", err)
+	}
+}
+
+func TestReadMetaLegacyV1(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, MetaFileName), []byte("bora-container v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMeta(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sealed() || m.Version != 1 {
+		t.Fatalf("v1 meta = %+v", m)
+	}
+}

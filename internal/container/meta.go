@@ -1,0 +1,110 @@
+package container
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/faultfs"
+)
+
+// Container meta lifecycle. A v2 container is created in state
+// "building" and atomically flipped to "sealed" once every topic's
+// data, index, time index and checksum are durable; the sealed meta
+// also records the topic directory list, giving fsck a manifest to
+// check the tree against. A crash mid-organize therefore leaves a
+// building-state meta behind: the container is invisible to Open/List
+// (never served half-written) but identifiable and repairable.
+const (
+	metaMagicV1 = "bora-container v1"
+	metaMagicV2 = "bora-container v2"
+
+	// StateBuilding marks a container whose organize pass has not
+	// committed; StateSealed marks a complete, openable container.
+	StateBuilding = "building"
+	StateSealed   = "sealed"
+)
+
+// ErrUnsealed reports an open of a container whose duplicate never
+// committed (crashed or still in flight).
+var ErrUnsealed = errors.New("container: not sealed (crashed or in-progress duplicate; run fsck/repair)")
+
+// Meta is the parsed container meta file.
+type Meta struct {
+	Version int
+	State   string
+	// TopicDirs lists the encoded topic directory names recorded at
+	// seal time (v2 sealed metas only), sorted.
+	TopicDirs []string
+}
+
+// Sealed reports whether the container committed. Legacy v1 containers
+// predate the lifecycle and are treated as sealed.
+func (m *Meta) Sealed() bool { return m.State == StateSealed }
+
+// ReadMeta parses the meta file of the container rooted at root.
+func ReadMeta(root string) (*Meta, error) {
+	buf, err := os.ReadFile(filepath.Join(root, MetaFileName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(buf), "\n"), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("container: empty meta file in %s", root)
+	}
+	switch lines[0] {
+	case metaMagicV1:
+		return &Meta{Version: 1, State: StateSealed}, nil
+	case metaMagicV2:
+	default:
+		return nil, fmt.Errorf("container: unrecognized meta signature %q in %s", lines[0], root)
+	}
+	m := &Meta{Version: 2}
+	for _, line := range lines[1:] {
+		switch {
+		case strings.HasPrefix(line, "state="):
+			m.State = strings.TrimPrefix(line, "state=")
+		case strings.HasPrefix(line, "topic="):
+			m.TopicDirs = append(m.TopicDirs, strings.TrimPrefix(line, "topic="))
+		case line == "":
+		default:
+			return nil, fmt.Errorf("container: malformed meta line %q in %s", line, root)
+		}
+	}
+	if m.State != StateBuilding && m.State != StateSealed {
+		return nil, fmt.Errorf("container: meta state %q in %s", m.State, root)
+	}
+	return m, nil
+}
+
+// writeMeta persists m atomically (temp file + rename), so a crash at
+// any point leaves the previous meta — or none — but never a torn one.
+func writeMeta(fs faultfs.Backend, root string, m *Meta) error {
+	var b strings.Builder
+	b.WriteString(metaMagicV2)
+	b.WriteByte('\n')
+	b.WriteString("state=" + m.State + "\n")
+	dirs := append([]string(nil), m.TopicDirs...)
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		b.WriteString("topic=" + d + "\n")
+	}
+	if err := faultfs.WriteFileAtomic(fs, filepath.Join(root, MetaFileName), []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("container: write meta: %w", err)
+	}
+	return nil
+}
+
+// Seal commits the container: the meta flips to sealed and records the
+// topic directory manifest. Until Seal succeeds the container cannot be
+// opened or listed.
+func (c *Container) Seal() error {
+	dirs := make([]string, 0, len(c.topics))
+	for name := range c.topics {
+		dirs = append(dirs, EncodeTopicDir(name))
+	}
+	return writeMeta(c.fs, c.root, &Meta{Version: 2, State: StateSealed, TopicDirs: dirs})
+}

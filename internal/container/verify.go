@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // ChecksumFileName stores a topic's data-file integrity record:
@@ -15,12 +17,13 @@ const ChecksumFileName = "checksum"
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// writeChecksum persists the integrity record for a topic's data file.
-func writeChecksum(dir string, sum uint32, length int64) error {
+// writeChecksum persists the integrity record for a topic's data file,
+// atomically so a crash can never leave a torn (wrong-length) record.
+func writeChecksum(fs faultfs.Backend, dir string, sum uint32, length int64) error {
 	var buf [12]byte
 	binary.LittleEndian.PutUint32(buf[0:4], sum)
 	binary.LittleEndian.PutUint64(buf[4:12], uint64(length))
-	return os.WriteFile(filepath.Join(dir, ChecksumFileName), buf[:], 0o644)
+	return faultfs.WriteFileAtomic(fs, filepath.Join(dir, ChecksumFileName), buf[:], 0o644)
 }
 
 // readChecksum loads a topic's integrity record.

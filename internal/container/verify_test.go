@@ -27,6 +27,9 @@ func buildVerifiedTopic(t *testing.T) (*Container, string) {
 	if err := tw.Close(); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
 	c2, err := Open(c.Root())
 	if err != nil {
 		t.Fatal(err)

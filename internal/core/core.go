@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/container"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/organizer"
 	"repro/internal/rosbag"
@@ -55,12 +56,25 @@ type Options struct {
 	// pool, container index/data access, and the front ends mounted on
 	// this back end. Nil disables recording at near-zero cost.
 	Obs *obs.Registry
+	// FS routes every file-system mutation this instance performs
+	// (container building, index/meta persistence, front-end spooling)
+	// through a faultfs backend. Nil selects the real OS; tests pass a
+	// faultfs.Injector to exercise crash consistency.
+	FS faultfs.Backend
+	// IndexFlushEvery is the per-topic index flush granularity passed to
+	// container.TopicOptions; zero selects the container default.
+	IndexFlushEvery int
+	// Synchronous disables the organizer worker pool so duplications
+	// perform back-end operations in a deterministic total order (used
+	// with FS injection to sweep crash points).
+	Synchronous bool
 }
 
 func (o *Options) fill() {
 	if o.TimeWindow <= 0 {
 		o.TimeWindow = timeindex.DefaultWindow
 	}
+	o.FS = faultfs.Or(o.FS)
 }
 
 // BORA manages logical bags stored as containers under a back-end root
@@ -86,7 +100,14 @@ func (b *BORA) Root() string { return b.root }
 // when observability is off). Front ends share it via this accessor.
 func (b *BORA) Obs() *obs.Registry { return b.opts.Obs }
 
+// FS returns the file-system backend this instance mutates through
+// (faultfs.OS unless Options.FS injected one). Front ends share it via
+// this accessor so their spool writes join the same fault domain.
+func (b *BORA) FS() faultfs.Backend { return b.opts.FS }
+
 // List returns the names of the logical bags present on the back end.
+// Unsealed containers — in-flight or crashed duplicates — are not
+// listed; fsck finds those.
 func (b *BORA) List() ([]string, error) {
 	ents, err := os.ReadDir(b.root)
 	if err != nil {
@@ -97,7 +118,7 @@ func (b *BORA) List() ([]string, error) {
 		if !ent.IsDir() {
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(b.root, ent.Name(), container.MetaFileName)); err == nil {
+		if meta, err := container.ReadMeta(filepath.Join(b.root, ent.Name())); err == nil && meta.Sealed() {
 			out = append(out, ent.Name())
 		}
 	}
@@ -120,6 +141,7 @@ type topicSink struct {
 	tw     *container.TopicWriter
 	tix    *timeindex.Index
 	dir    string
+	fs     faultfs.Backend
 	nextID uint32
 }
 
@@ -136,7 +158,7 @@ func (s *topicSink) Close() error {
 	if err := s.tw.Close(); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.dir, container.TimeIdxFileName), s.tix.Marshal(), 0o644)
+	return faultfs.WriteFileAtomic(s.fs, filepath.Join(s.dir, container.TimeIdxFileName), s.tix.Marshal(), 0o644)
 }
 
 // DuplicateStats reports the work done by a duplication.
@@ -178,14 +200,17 @@ func (b *BORA) DuplicateFrom(r io.ReaderAt, size int64, name string) (*Bag, Dupl
 // DuplicateSpan).
 func (b *BORA) DuplicateFromSpan(r io.ReaderAt, size int64, name string, parent obs.Span) (*Bag, DuplicateStats, error) {
 	sp := parent.ChildOp(b.opts.Obs.Op("core.duplicate"))
-	c, err := container.Create(filepath.Join(b.root, name))
+	c, err := container.CreateFS(filepath.Join(b.root, name), b.opts.FS)
 	if err != nil {
 		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
 	}
 	c.SetObs(b.opts.Obs)
 	dist := organizer.New(func(conn *bagio.Connection) (organizer.TopicSink, error) {
-		tw, err := c.CreateTopicOpts(conn, container.TopicOptions{Stripes: b.opts.Stripes, StripeSize: b.opts.StripeSize})
+		tw, err := c.CreateTopicOpts(conn, container.TopicOptions{
+			Stripes: b.opts.Stripes, StripeSize: b.opts.StripeSize,
+			IndexFlushEvery: b.opts.IndexFlushEvery,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -193,8 +218,8 @@ func (b *BORA) DuplicateFromSpan(r io.ReaderAt, size int64, name string, parent 
 		if err != nil {
 			return nil, err
 		}
-		return &topicSink{tw: tw, tix: timeindex.New(b.opts.TimeWindow), dir: dir}, nil
-	}, organizer.Options{Workers: b.opts.Workers, Obs: b.opts.Obs, Parent: sp})
+		return &topicSink{tw: tw, tix: timeindex.New(b.opts.TimeWindow), dir: dir, fs: b.opts.FS}, nil
+	}, organizer.Options{Workers: b.opts.Workers, Obs: b.opts.Obs, Parent: sp, Synchronous: b.opts.Synchronous})
 
 	scanErr := rosbag.ScanSpan(r, size, sp, func(conn *bagio.Connection, t bagio.Time, data []byte) error {
 		return dist.Dispatch(conn, t, data)
@@ -207,6 +232,13 @@ func (b *BORA) DuplicateFromSpan(r io.ReaderAt, size int64, name string, parent 
 	}
 	if distErr != nil {
 		err := fmt.Errorf("bora: duplicate distribute: %w", distErr)
+		sp.EndErr(err)
+		return nil, DuplicateStats{}, err
+	}
+	// Every topic committed; seal the container. This is the commit
+	// point: a crash before here leaves a building-state container that
+	// Open/List refuse and fsck repairs.
+	if err := c.Seal(); err != nil {
 		sp.EndErr(err)
 		return nil, DuplicateStats{}, err
 	}

@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"repro/internal/bagio"
 	"repro/internal/container"
+	"repro/internal/faultfs"
 	"repro/internal/msgdef"
 	"repro/internal/msgs"
 	"repro/internal/timeindex"
@@ -44,7 +44,7 @@ type recordTopic struct {
 // CreateBag starts recording a new logical bag directly into a
 // container on the back end.
 func (b *BORA) CreateBag(name string) (*Recorder, error) {
-	c, err := container.Create(filepath.Join(b.root, name))
+	c, err := container.CreateFS(filepath.Join(b.root, name), b.opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +68,10 @@ func (r *Recorder) topic(topic, msgType string) (*recordTopic, error) {
 	if def, err := msgdef.FullText(msgType); err == nil {
 		conn.Def = def
 	}
-	tw, err := r.c.CreateTopicOpts(conn, container.TopicOptions{Stripes: r.b.opts.Stripes, StripeSize: r.b.opts.StripeSize})
+	tw, err := r.c.CreateTopicOpts(conn, container.TopicOptions{
+		Stripes: r.b.opts.Stripes, StripeSize: r.b.opts.StripeSize,
+		IndexFlushEvery: r.b.opts.IndexFlushEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -143,12 +146,15 @@ func (r *Recorder) Close() (*Bag, error) {
 		rt.mu.Lock()
 		err := rt.tw.Close()
 		if err == nil {
-			err = os.WriteFile(filepath.Join(rt.dir, container.TimeIdxFileName), rt.tix.Marshal(), 0o644)
+			err = faultfs.WriteFileAtomic(r.b.opts.FS, filepath.Join(rt.dir, container.TimeIdxFileName), rt.tix.Marshal(), 0o644)
 		}
 		rt.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := r.c.Seal(); err != nil {
+		return nil, err
 	}
 	return r.b.Open(r.name)
 }

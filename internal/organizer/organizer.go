@@ -41,6 +41,12 @@ type Options struct {
 	// worker goroutine forks its own trace lane from it. The zero Span is
 	// fine — spans then trace as roots.
 	Parent obs.Span
+	// Synchronous runs every append inline on the Dispatch caller's
+	// goroutine instead of the worker pool. File contents are identical
+	// either way (topics are single-writer), but the total order of
+	// back-end operations becomes deterministic — which is what the
+	// crash-consistency harness sweeps over.
+	Synchronous bool
 }
 
 func (o *Options) fill() {
@@ -114,6 +120,9 @@ func New(create func(conn *bagio.Connection) (TopicSink, error), opts Options) *
 		droppedBytes: opts.Obs.Counter("organizer.dropped_bytes"),
 	}
 	d.stats.PerTopic = map[string]int64{}
+	if opts.Synchronous {
+		return d
+	}
 	d.workers = make([]chan workItem, opts.Workers)
 	for i := range d.workers {
 		ch := make(chan workItem, opts.QueueDepth)
@@ -209,6 +218,24 @@ func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []b
 		d.statsMu.Lock()
 		d.stats.Topics++
 		d.statsMu.Unlock()
+	}
+	if d.opts.Synchronous {
+		asp := sp.ChildOp(d.appendOp)
+		if err := sink.Append(t, payload); err != nil {
+			asp.EndErr(err)
+			d.fail(err)
+			sp.EndErr(err)
+			d.noteDropped(workItem{topic: conn.Topic, payload: payload})
+			return err
+		}
+		asp.EndBytes(int64(len(payload)))
+		d.statsMu.Lock()
+		d.stats.Messages++
+		d.stats.Bytes += int64(len(payload))
+		d.stats.PerTopic[conn.Topic]++
+		d.statsMu.Unlock()
+		sp.EndBytes(int64(len(payload)))
+		return nil
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)

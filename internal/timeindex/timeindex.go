@@ -135,6 +135,23 @@ func (ix *Index) WindowsScanned(start, end bagio.Time) int {
 	return n
 }
 
+// MaxPosition returns the largest message ordinal referenced by any
+// window, and false when the index references no messages. Fsck uses it
+// to detect windows orphaned by a truncated message index.
+func (ix *Index) MaxPosition() (uint32, bool) {
+	var max uint32
+	found := false
+	for _, wl := range ix.byStart {
+		for _, p := range wl.positions {
+			if !found || p > max {
+				max = p
+			}
+			found = true
+		}
+	}
+	return max, found
+}
+
 // Build constructs an index over a topic's message timestamps, where
 // times[i] is the timestamp of the message at ordinal i.
 func Build(window time.Duration, times []bagio.Time) *Index {

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/rosbag"
 )
@@ -146,11 +147,13 @@ func (fs *FS) Stat(name string) (int64, error) {
 }
 
 // WriteFile is an in-flight front-end write: bytes spool to the work
-// directory and are organized into a container on Close.
+// directory and are organized into a container on Close. The spool is
+// written through the backend's faultfs backend, so an injected fault
+// or crash surfaces exactly where a real disk error would.
 type WriteFile struct {
 	fs     *FS
 	base   string
-	spool  *os.File
+	spool  faultfs.File
 	path   string
 	closed bool
 }
@@ -170,7 +173,7 @@ func (fs *FS) Create(name string) (*WriteFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.CreateTemp(fs.workDir, "spool-"+base+"-*.bag")
+	f, err := fs.backend.FS().CreateTemp(fs.workDir, "spool-"+base+"-*.bag")
 	if err != nil {
 		return nil, err
 	}
@@ -203,10 +206,12 @@ func (w *WriteFile) Close() error {
 	w.fs.mu.Lock()
 	w.fs.stats.Closes++
 	w.fs.mu.Unlock()
+	// Unlink the spool no matter how Close exits: an error from the
+	// spool close below must not leak the file.
+	defer os.Remove(w.path)
 	if err := w.spool.Close(); err != nil {
 		return err
 	}
-	defer os.Remove(w.path)
 	if _, _, err := w.fs.backend.DuplicateSpan(w.path, w.base, sp); err != nil {
 		return fmt.Errorf("vfs: organize %s: %w", w.base, err)
 	}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
@@ -330,5 +332,140 @@ func TestRemoveThroughFrontEnd(t *testing.T) {
 	}
 	if st := fs.Stats(); st.Removes != 1 {
 		t.Errorf("stats.Removes = %d, want 1", st.Removes)
+	}
+}
+
+// TestConcurrentOpenRemoveRace races Opens of a bag against its Remove
+// (run under -race in CI). Every Open must either serve a complete
+// snapshot — isolated from the concurrent unlink — or fail cleanly; no
+// goroutine may observe a torn stream, and no snapshot or spool file
+// may leak from the work directory afterwards.
+func TestConcurrentOpenRemoveRace(t *testing.T) {
+	fs := mountTestFS(t)
+	src := writeSourceBag(t, t.TempDir())
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("contested.bag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			r, err := fs.Open("contested.bag")
+			if err != nil {
+				errs[i] = nil // clean failure: bag already removed
+				return
+			}
+			defer r.Close()
+			// A served snapshot must parse as a complete bag even though
+			// the container is being unlinked underneath.
+			br, err := rosbag.OpenReader(r, r.Size())
+			if err != nil {
+				errs[i] = fmt.Errorf("reader %d: snapshot does not parse: %w", i, err)
+				return
+			}
+			if br.MessageCount() == 0 {
+				errs[i] = fmt.Errorf("reader %d: snapshot has no messages", i)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	var removeErr error
+	go func() {
+		defer wg.Done()
+		<-start
+		removeErr = fs.Remove("contested.bag")
+	}()
+	close(start)
+	wg.Wait()
+	if removeErr != nil {
+		t.Fatalf("Remove: %v", removeErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	ents, err := os.ReadDir(fs.workDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		t.Errorf("work dir leaked %s", ent.Name())
+	}
+}
+
+// TestSpoolNeverLeaksUnderInjectedFaults sweeps an injected I/O failure
+// across every backend operation of a front-end write and asserts the
+// spool file never outlives Close. This is the regression test for the
+// lost-spool-file bug: Close used to register the spool unlink only
+// after the spool's own Close error return, so a failing close leaked
+// the file.
+func TestSpoolNeverLeaksUnderInjectedFaults(t *testing.T) {
+	src := writeSourceBag(t, t.TempDir())
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(plan faultfs.Plan) (*faultfs.Injector, string, error) {
+		dir := t.TempDir()
+		in := faultfs.NewInjector(faultfs.OS, plan)
+		backend, err := core.New(filepath.Join(dir, "backend"), core.Options{FS: in, Synchronous: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Mount(backend, filepath.Join(dir, "spool"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spoolDir := filepath.Join(dir, "spool")
+		w, err := fs.Create("faulty.bag")
+		if err != nil {
+			return in, spoolDir, err
+		}
+		if _, err := w.Write(raw); err != nil {
+			// A real caller closes on write error; the spool must go away.
+			w.Close()
+			return in, spoolDir, err
+		}
+		return in, spoolDir, w.Close()
+	}
+
+	in, _, err := run(faultfs.Plan{Seed: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	total := in.Ops()
+	if total < 10 {
+		t.Fatalf("suspiciously few backend ops: %d", total)
+	}
+	stride := total/64 + 1
+	for n := int64(1); n <= total; n += stride {
+		_, spoolDir, runErr := run(faultfs.Plan{Seed: 11, FailAt: n})
+		ents, err := os.ReadDir(spoolDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range ents {
+			if strings.HasPrefix(ent.Name(), "spool-") {
+				t.Fatalf("FailAt=%d (err=%v): leaked spool file %s", n, runErr, ent.Name())
+			}
+		}
 	}
 }
