@@ -70,7 +70,7 @@ func cmdRebag(args []string) error {
 	if err != nil {
 		return err
 	}
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}
@@ -129,7 +129,7 @@ func cmdBagInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,9 @@
 //	-trace FILE       record span begin/end events and write them to FILE
 //	                  as Chrome trace-event JSON (load in chrome://tracing
 //	                  or Perfetto)
+//	-pool             serve bag opens through a shared handle pool
+//	                  (internal/pool: cached opens, block cache) and print
+//	                  its hit/miss/eviction stats to stderr afterwards
 //
 // The flags compose: each independently enables the shared registry, so
 // e.g. -trace alone collects metrics too (they are simply not printed),
@@ -36,6 +39,7 @@ import (
 	"repro/internal/bagio"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
@@ -44,6 +48,39 @@ import (
 // (-metrics, -metrics-out, -trace); every subcommand threads it into the
 // stack it drives. Nil keeps the whole obs layer inert.
 var metricsReg *obs.Registry
+
+// usePool routes every bag open of the invocation through one shared
+// handle pool (global -pool flag); sharedPool is built lazily on the
+// first open so it wraps the backend the subcommand actually uses.
+var (
+	usePool    bool
+	sharedPool *pool.Pool
+	poolOnce   sync.Once
+)
+
+// openBag opens a logical bag for a subcommand: through the shared
+// pool when -pool is set, cold otherwise.
+func openBag(b *core.BORA, name string) (*core.Bag, error) {
+	if !usePool {
+		return b.Open(name)
+	}
+	poolOnce.Do(func() { sharedPool = pool.New(b, pool.Options{}) })
+	return sharedPool.Acquire(name)
+}
+
+// printPoolStats reports the shared pool's counters to stderr.
+func printPoolStats() {
+	if sharedPool == nil {
+		return
+	}
+	s := sharedPool.Stats()
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, "== pool stats ==")
+	fmt.Fprintf(os.Stderr, "handles: %d resident, %d hits, %d misses, %d evictions, %d invalidations\n",
+		s.HandlesResident, s.HandleHits, s.HandleMisses, s.HandleEvictions, s.HandleInvalidations)
+	fmt.Fprintf(os.Stderr, "blocks:  %d resident (%d bytes), %d hits (%d bytes), %d misses, %d evictions\n",
+		s.Block.Blocks, s.Block.Resident, s.Block.Hits, s.Block.HitBytes, s.Block.Misses, s.Block.Evictions)
+}
 
 func main() {
 	args := os.Args[1:]
@@ -76,6 +113,9 @@ globalFlags:
 			tracer = obs.NewTracer(0)
 			metricsReg.AttachTracer(tracer)
 			args = args[2:]
+		case args[0] == "-pool":
+			usePool = true
+			args = args[1:]
 		default:
 			break globalFlags
 		}
@@ -117,6 +157,9 @@ globalFlags:
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if usePool {
+		printPoolStats()
 	}
 	if printMetrics {
 		fmt.Fprintln(os.Stderr)
@@ -163,7 +206,7 @@ func writeTraceFile(path string, tr *obs.Tracer) error {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] <command> [flags]
+	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] [-pool] <command> [flags]
 
 commands:
   record     synthesize a Handheld-SLAM-like bag (Table II mix)
@@ -287,7 +330,7 @@ func cmdTopics(args []string) error {
 	if err != nil {
 		return err
 	}
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}
@@ -313,6 +356,7 @@ func cmdQuery(args []string) error {
 	startSec := fs.Float64("start", 0, "start time (seconds since epoch, 0 = bag start)")
 	endSec := fs.Float64("end", 0, "end time (seconds since epoch, 0 = bag end)")
 	parallel := fs.Int("parallel", 0, "read topic streams concurrently with this many workers (0 = serial, -1 = GOMAXPROCS)")
+	chrono := fs.Bool("chrono", false, "deliver messages in global timestamp order (serial)")
 	quiet := fs.Bool("q", false, "suppress per-message output")
 	fs.Parse(args)
 	b, err := openBackend(*backend)
@@ -320,7 +364,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	openStart := time.Now()
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}
@@ -343,23 +387,18 @@ func cmdQuery(args []string) error {
 		return nil
 	}
 	queryStart := time.Now()
-	st := bagio.TimeFromNanos(int64(*startSec * 1e9))
-	en := bagio.MaxTime
+	spec := core.QuerySpec{
+		Topics:  topics,
+		Start:   bagio.TimeFromNanos(int64(*startSec * 1e9)),
+		Workers: *parallel,
+	}
 	if *endSec > 0 {
-		en = bagio.TimeFromNanos(int64(*endSec * 1e9))
+		spec.End = bagio.TimeFromNanos(int64(*endSec * 1e9))
 	}
-	timed := *startSec > 0 || *endSec > 0
-	switch {
-	case timed && *parallel != 0:
-		err = bag.ReadMessagesTimeParallel(topics, st, en, *parallel, emit)
-	case timed:
-		err = bag.ReadMessagesTime(topics, st, en, emit)
-	case *parallel != 0:
-		err = bag.ReadMessagesParallel(topics, *parallel, emit)
-	default:
-		err = bag.ReadMessages(topics, emit)
+	if *chrono {
+		spec.Order = core.OrderTime
 	}
-	if err != nil {
+	if err := bag.Query(spec, emit); err != nil {
 		return err
 	}
 	fmt.Printf("open %v, query %v: %d messages, %d bytes (windows scanned: %d)\n",
@@ -377,7 +416,7 @@ func cmdExport(args []string) error {
 	if err != nil {
 		return err
 	}
-	bag, err := b.Open(*name)
+	bag, err := openBag(b, *name)
 	if err != nil {
 		return err
 	}

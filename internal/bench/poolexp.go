@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/rosbag"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("pool-clients", runPoolClients)
+}
+
+// runPoolClients measures the shared serving layer under many
+// concurrent clients — the reopen-heavy traffic the ROADMAP's
+// north-star targets. The paper's Table I argues one tag-table build
+// per open is cheap; this experiment shows what N clients reopening
+// the same containers cost cold versus through internal/pool's handle
+// cache (one build per bag, singleflight-deduplicated) and block
+// cache.
+func runPoolClients(reg *obs.Registry) (*Table, error) {
+	const (
+		numBags    = 4
+		numClients = 16
+		opensEach  = 8
+	)
+	t := &Table{
+		ID:     "pool-clients",
+		Title:  "Concurrent clients: cold opens vs pooled (cached) opens + block cache",
+		Header: []string{"scenario", "total", "per open", "speedup vs cold", "opens"},
+		Notes: []string{
+			fmt.Sprintf("%d clients x %d opens each over %d bags, every open followed by an /imu query", numClients, opensEach, numBags),
+			"cold = core.Open per request (per-open tag-table/index build);",
+			"pooled = pool.Acquire (shared handles, generation-validated, shared block cache)",
+		},
+	}
+	dir, err := os.MkdirTemp("", "bora-pool-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	src := filepath.Join(dir, "src.bag")
+	if _, err := workload.WriteHandheldSLAMBag(src, workload.SyntheticOptions{
+		Seconds: 4, ScaleDown: 2000,
+		Writer: rosbag.WriterOptions{ChunkThreshold: 64 * 1024},
+	}); err != nil {
+		return nil, err
+	}
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{Obs: reg})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, numBags)
+	for i := range names {
+		names[i] = fmt.Sprintf("robot%d", i)
+		if _, _, err := backend.Duplicate(src, names[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Each client performs opensEach open+query rounds, striding over
+	// the bags so every bag is hit by many clients at once.
+	clients := func(open func(name string) (*core.Bag, error)) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, numClients)
+		start := time.Now()
+		for c := 0; c < numClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < opensEach; i++ {
+					bag, err := open(names[(c+i)%numBags])
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					err = bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(core.MessageRef) error { return nil })
+					if err != nil {
+						errs[c] = err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	totalOpens := numClients * opensEach
+	coldTotal, err := clients(backend.Open)
+	if err != nil {
+		return nil, err
+	}
+	p := pool.New(backend, pool.Options{})
+	pooledTotal, err := clients(p.Acquire)
+	if err != nil {
+		return nil, err
+	}
+	s := p.Stats()
+
+	perOpen := func(d time.Duration) time.Duration { return d / time.Duration(totalOpens) }
+	t.Rows = append(t.Rows,
+		[]string{"cold open + query", fmtDur(coldTotal), fmtDur(perOpen(coldTotal)), "1.00x", fmt.Sprintf("%d", totalOpens)},
+		[]string{"pooled open + query", fmtDur(pooledTotal), fmtDur(perOpen(pooledTotal)), fmtRatio(coldTotal, pooledTotal), fmt.Sprintf("%d", totalOpens)},
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("pool: %d handle hits / %d misses (%d bags resident); block cache: %d hits / %d misses, %d bytes resident",
+			s.HandleHits, s.HandleMisses, s.HandlesResident, s.Block.Hits, s.Block.Misses, s.Block.Resident))
+	if reg != nil {
+		t.Phases = []Phase{{Name: "pooled", Snap: reg.Snapshot()}}
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package container
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// BlockKey identifies one cached block of a topic's logical data
+// stream. Gen is the container generation the bytes were read under:
+// a repair or rebuild mints a new generation, so stale blocks of a
+// replaced container can never be served (they simply stop being
+// referenced and age out of the cache).
+type BlockKey struct {
+	Path  string // topic back-end directory
+	Gen   uint64 // container generation at read time
+	Block int64  // block ordinal (offset / BlockSize)
+}
+
+// BlockCache caches fixed-size blocks of topic data files. Containers
+// are immutable once sealed, so entries never need explicit
+// invalidation — the generation in the key takes care of rebuilds.
+// Implementations must be safe for concurrent use. Get returns a
+// slice the caller must not mutate; Put takes ownership of data.
+// internal/pool provides the bounded LRU implementation.
+type BlockCache interface {
+	// BlockSize returns the cache's fixed block width in bytes (> 0).
+	BlockSize() int64
+	Get(key BlockKey) ([]byte, bool)
+	Put(key BlockKey, data []byte)
+}
+
+// cachedReader adapts a topic DataReader to serve through a BlockCache:
+// ReadAt decomposes the request into fixed-size blocks, copies hits out
+// of the cache and fills misses from the underlying reader (recording
+// each fill under container.block_fill). The final block of a file is
+// short; it is cached at its true length, which is safe because sealed
+// containers never grow.
+type cachedReader struct {
+	inner  DataReader
+	cache  BlockCache
+	path   string
+	gen    uint64
+	fillOp *obs.Op
+}
+
+func (r *cachedReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, io.EOF
+	}
+	bs := r.cache.BlockSize()
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		block := pos / bs
+		within := pos - block*bs
+		data, err := r.block(block, bs)
+		if err != nil {
+			return n, err
+		}
+		if within >= int64(len(data)) {
+			return n, io.EOF // request starts past the end of the stream
+		}
+		c := copy(p[n:], data[within:])
+		n += c
+		if int64(len(data)) < bs && n < len(p) {
+			return n, io.EOF // short final block: the stream ends here
+		}
+	}
+	return n, nil
+}
+
+// block returns the cached block's bytes, filling the cache on a miss.
+func (r *cachedReader) block(block, bs int64) ([]byte, error) {
+	key := BlockKey{Path: r.path, Gen: r.gen, Block: block}
+	if data, ok := r.cache.Get(key); ok {
+		return data, nil
+	}
+	sp := r.fillOp.Start()
+	buf := make([]byte, bs)
+	n, err := r.inner.ReadAt(buf, block*bs)
+	if err != nil && err != io.EOF {
+		sp.EndErr(err)
+		return nil, err
+	}
+	buf = buf[:n]
+	sp.EndBytes(int64(n))
+	r.cache.Put(key, buf)
+	return buf, nil
+}
+
+func (r *cachedReader) Close() error { return r.inner.Close() }

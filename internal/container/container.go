@@ -86,21 +86,52 @@ func DecodeTopicDir(dir string) string {
 type Container struct {
 	root   string
 	fs     faultfs.Backend   // write path: every mutation goes through it
+	meta   *Meta             // parsed meta as of Open/Create/Seal
 	topics map[string]*Topic // keyed by topic name
 
 	indexLoadOp *obs.Op // container.index_load: lazy index-file parses
 	readOp      *obs.Op // container.read: per-message payload reads
+	blockFillOp *obs.Op // container.block_fill: block-cache miss reads
+
+	blockCache BlockCache // nil: topic data reads go straight to disk
 }
 
 // SetObs routes the container's metrics (index loads, per-message data
-// reads) to reg; existing and later-created topics inherit it. A nil
-// registry (the default) disables recording.
+// reads, block-cache miss fills) to reg; existing and later-created
+// topics inherit it. A nil registry (the default) disables recording.
 func (c *Container) SetObs(reg *obs.Registry) {
 	c.indexLoadOp = reg.Op("container.index_load")
 	c.readOp = reg.Op("container.read")
+	c.blockFillOp = reg.Op("container.block_fill")
 	for _, t := range c.topics {
 		t.indexLoadOp = c.indexLoadOp
+		t.blockFillOp = c.blockFillOp
 	}
+}
+
+// Generation returns the container's sealed generation (0 for a
+// still-building or legacy v1 container). Every Seal — first build,
+// repair, rebuild under the same name — mints a distinct value, so two
+// equal generations always describe the same on-disk tree.
+func (c *Container) Generation() uint64 {
+	if c.meta == nil {
+		return 0
+	}
+	return c.meta.Gen
+}
+
+// SetBlockCache routes all topic data reads of this container through
+// bc: OpenData then returns readers that serve block-cache hits from
+// memory and fill misses from the underlying file. Cache keys carry the
+// topic path and the container generation, so a rebuilt container never
+// serves another generation's bytes. A nil cache (the default) keeps
+// reads direct.
+func (c *Container) SetBlockCache(bc BlockCache) {
+	for _, t := range c.topics {
+		t.cache = bc
+		t.gen = c.Generation()
+	}
+	c.blockCache = bc
 }
 
 // NoteReads records a batch of message payload reads under
@@ -118,8 +149,11 @@ type Topic struct {
 	conn       *bagio.Connection
 	stripes    int // >1 when the data file is striped across lanes
 	stripeSize int64
+	cache      BlockCache // nil: OpenData reads straight from disk
+	gen        uint64     // container generation baked into cache keys
 
 	indexLoadOp *obs.Op
+	blockFillOp *obs.Op
 
 	mu      sync.Mutex
 	entries []IndexEntry
@@ -148,10 +182,11 @@ func CreateFS(root string, fs faultfs.Backend) (*Container, error) {
 	if len(ents) > 0 {
 		return nil, fmt.Errorf("container: %s is not empty", root)
 	}
-	if err := writeMeta(fs, root, &Meta{Version: 2, State: StateBuilding}); err != nil {
+	m := &Meta{Version: 2, State: StateBuilding}
+	if err := writeMeta(fs, root, m); err != nil {
 		return nil, err
 	}
-	return &Container{root: root, fs: fs, topics: map[string]*Topic{}}, nil
+	return &Container{root: root, fs: fs, meta: m, topics: map[string]*Topic{}}, nil
 }
 
 // Open opens an existing container, discovering topic sub-directories.
@@ -170,7 +205,7 @@ func Open(root string) (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Container{root: root, fs: faultfs.OS, topics: map[string]*Topic{}}
+	c := &Container{root: root, fs: faultfs.OS, meta: meta, topics: map[string]*Topic{}}
 	for _, ent := range ents {
 		if !ent.IsDir() {
 			continue
@@ -296,7 +331,8 @@ func (c *Container) CreateTopicOpts(conn *bagio.Connection, opts TopicOptions) (
 		return nil, err
 	}
 	t := &Topic{dir: dir, topic: conn.Topic, conn: conn, loaded: true,
-		indexLoadOp: c.indexLoadOp}
+		cache: c.blockCache, gen: c.Generation(),
+		indexLoadOp: c.indexLoadOp, blockFillOp: c.blockFillOp}
 	tw := &TopicWriter{topic: t, fs: c.fs, crc: crc32.New(crcTable),
 		flushEvery: opts.IndexFlushEvery}
 	ixf, err := c.fs.Create(filepath.Join(dir, IndexFileName))
@@ -524,12 +560,21 @@ func (t *Topic) Striped() int {
 }
 
 // OpenData opens the topic's contiguous logical data stream for
-// reading; striped topics fan reads out across their lane files.
+// reading; striped topics fan reads out across their lane files. When
+// the container carries a block cache the returned reader serves cache
+// hits from memory and fills misses block-by-block from the file.
 func (t *Topic) OpenData() (DataReader, error) {
+	var r DataReader
+	var err error
 	if t.stripes > 1 {
-		return stripe.Open(t.dir, t.stripes, t.stripeSize)
+		r, err = stripe.Open(t.dir, t.stripes, t.stripeSize)
+	} else {
+		r, err = os.Open(filepath.Join(t.dir, DataFileName))
 	}
-	return os.Open(filepath.Join(t.dir, DataFileName))
+	if err != nil || t.cache == nil {
+		return r, err
+	}
+	return &cachedReader{inner: r, cache: t.cache, path: t.dir, gen: t.gen, fillOp: t.blockFillOp}, nil
 }
 
 // ReadMessage reads the payload for one index entry. It records nothing

@@ -364,7 +364,10 @@ func RepairFS(root string, fs faultfs.Backend) (*Report, error) {
 		}
 	}
 	sort.Strings(manifest)
-	if err := writeMeta(fs, root, &Meta{Version: 2, State: StateSealed, TopicDirs: manifest}); err != nil {
+	// A repair reseal mints a fresh generation: cached handles built from
+	// the pre-repair tree must read as stale even when the surviving
+	// topic set is unchanged.
+	if err := writeMeta(fs, root, &Meta{Version: 2, State: StateSealed, Gen: newGen(), TopicDirs: manifest}); err != nil {
 		return nil, err
 	}
 	return Fsck(root)

@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/faultfs"
 )
@@ -36,6 +39,12 @@ var ErrUnsealed = errors.New("container: not sealed (crashed or in-progress dupl
 type Meta struct {
 	Version int
 	State   string
+	// Gen is the container's generation: it starts at 0 while building
+	// and is bumped by every Seal (first duplicate, Repair reseal,
+	// re-Duplicate after Remove lands back at 1). Handle caches compare
+	// it against the meta on disk to detect that a cached open went
+	// stale without re-walking the tree.
+	Gen uint64
 	// TopicDirs lists the encoded topic directory names recorded at
 	// seal time (v2 sealed metas only), sorted.
 	TopicDirs []string
@@ -67,6 +76,12 @@ func ReadMeta(root string) (*Meta, error) {
 		switch {
 		case strings.HasPrefix(line, "state="):
 			m.State = strings.TrimPrefix(line, "state=")
+		case strings.HasPrefix(line, "gen="):
+			gen, err := strconv.ParseUint(strings.TrimPrefix(line, "gen="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("container: malformed meta line %q in %s", line, root)
+			}
+			m.Gen = gen
 		case strings.HasPrefix(line, "topic="):
 			m.TopicDirs = append(m.TopicDirs, strings.TrimPrefix(line, "topic="))
 		case line == "":
@@ -87,6 +102,9 @@ func writeMeta(fs faultfs.Backend, root string, m *Meta) error {
 	b.WriteString(metaMagicV2)
 	b.WriteByte('\n')
 	b.WriteString("state=" + m.State + "\n")
+	if m.Gen > 0 {
+		b.WriteString("gen=" + strconv.FormatUint(m.Gen, 10) + "\n")
+	}
 	dirs := append([]string(nil), m.TopicDirs...)
 	sort.Strings(dirs)
 	for _, d := range dirs {
@@ -98,13 +116,31 @@ func writeMeta(fs faultfs.Backend, root string, m *Meta) error {
 	return nil
 }
 
-// Seal commits the container: the meta flips to sealed and records the
-// topic directory manifest. Until Seal succeeds the container cannot be
-// opened or listed.
+// genCounter disambiguates seals that land on the same clock reading.
+var genCounter atomic.Uint64
+
+// newGen mints a generation token for a seal. A plain per-container
+// counter would collide after Remove + re-Duplicate (the counter state
+// dies with the directory and restarts at 1), so the token combines the
+// wall clock with a process-unique counter: no two seals — of the same
+// path or across rebuilds of it — ever carry the same value, which is
+// what handle caches compare to detect staleness.
+func newGen() uint64 {
+	return uint64(time.Now().UnixNano())<<10 | (genCounter.Add(1) & 0x3ff)
+}
+
+// Seal commits the container: the meta flips to sealed, mints a fresh
+// generation, and records the topic directory manifest. Until Seal
+// succeeds the container cannot be opened or listed.
 func (c *Container) Seal() error {
 	dirs := make([]string, 0, len(c.topics))
 	for name := range c.topics {
 		dirs = append(dirs, EncodeTopicDir(name))
 	}
-	return writeMeta(c.fs, c.root, &Meta{Version: 2, State: StateSealed, TopicDirs: dirs})
+	m := &Meta{Version: 2, State: StateSealed, Gen: newGen(), TopicDirs: dirs}
+	if err := writeMeta(c.fs, c.root, m); err != nil {
+		return err
+	}
+	c.meta = m
+	return nil
 }

@@ -67,9 +67,16 @@ type Bag struct {
 	opts Options
 	ops  bagObs
 
+	// mu guards the stats counters and the memoized derived state
+	// below. Connections, per-topic message counts and the coarse time
+	// indexes are immutable properties of a sealed container, so each
+	// is computed once per handle and served from memory afterwards —
+	// which is what makes pooled (cached) handles cheap to re-query.
 	mu      sync.Mutex
 	stats   Stats
 	timeIdx map[string]*timeindex.Index
+	conns   []*bagio.Connection
+	counts  map[string]int
 }
 
 // Name returns the logical bag name.
@@ -102,38 +109,76 @@ func (bag *Bag) addStats(d Stats) {
 	bag.mu.Unlock()
 }
 
-// Connections returns connection metadata for every topic.
+// Connections returns connection metadata for every topic, memoized
+// after the first call. Callers must not mutate the returned slice's
+// entries.
 func (bag *Bag) Connections() ([]*bagio.Connection, error) {
-	var out []*bagio.Connection
-	for _, name := range bag.c.Topics() {
+	bag.mu.Lock()
+	if bag.conns != nil {
+		out := make([]*bagio.Connection, len(bag.conns))
+		copy(out, bag.conns)
+		bag.mu.Unlock()
+		return out, nil
+	}
+	bag.mu.Unlock()
+	names := bag.c.Topics()
+	conns := make([]*bagio.Connection, 0, len(names))
+	for _, name := range names {
 		t, err := bag.c.Topic(name)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, t.Connection())
+		conns = append(conns, t.Connection())
 	}
+	bag.mu.Lock()
+	bag.conns = conns
+	bag.mu.Unlock()
+	out := make([]*bagio.Connection, len(conns))
+	copy(out, conns)
 	return out, nil
 }
 
 // MessageCount returns the total message count across the given topics
-// (all topics when none are given).
+// (all topics when none are given). Per-topic counts come from the
+// on-disk index the first time and from memory afterwards.
 func (bag *Bag) MessageCount(topics ...string) (int, error) {
 	if len(topics) == 0 {
 		topics = bag.Topics()
 	}
 	n := 0
 	for _, name := range topics {
-		t, err := bag.c.Topic(name)
-		if err != nil {
-			return 0, err
-		}
-		c, err := t.MessageCount()
+		c, err := bag.topicCount(name)
 		if err != nil {
 			return 0, err
 		}
 		n += c
 	}
 	return n, nil
+}
+
+// topicCount memoizes one topic's index-entry count.
+func (bag *Bag) topicCount(name string) (int, error) {
+	bag.mu.Lock()
+	if c, ok := bag.counts[name]; ok {
+		bag.mu.Unlock()
+		return c, nil
+	}
+	bag.mu.Unlock()
+	t, err := bag.c.Topic(name)
+	if err != nil {
+		return 0, err
+	}
+	c, err := t.MessageCount()
+	if err != nil {
+		return 0, err
+	}
+	bag.mu.Lock()
+	if bag.counts == nil {
+		bag.counts = map[string]int{}
+	}
+	bag.counts[name] = c
+	bag.mu.Unlock()
+	return c, nil
 }
 
 // resolve maps requested topics to container topics via the tag table —
@@ -157,23 +202,11 @@ func (bag *Bag) resolve(topics []string) ([]*container.Topic, error) {
 }
 
 // ReadMessages performs BORA data acquisition (Fig 7): each requested
-// topic's data file is read sequentially in full. Messages are yielded
-// grouped by topic (in the order requested), each topic in timestamp
-// order — the layout-friendly order that gives sequential access on the
-// underlying device.
-func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) (err error) {
-	sp := bag.ops.read.Start()
-	defer func() { sp.EndErr(err) }()
-	resolved, err := bag.resolve(topics)
-	if err != nil {
-		return err
-	}
-	for _, t := range resolved {
-		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, bagio.MinTime, bagio.MaxTime, fn); err != nil {
-			return err
-		}
-	}
-	return nil
+// topic's data file is read sequentially in full, grouped by topic.
+//
+// Deprecated: use Query with a zero QuerySpec (plus Topics).
+func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
+	return bag.Query(QuerySpec{Topics: topics}, fn)
 }
 
 // readTopicRange streams one topic's messages within [start, end]. sp is
@@ -244,9 +277,7 @@ func (bag *Bag) positionsInRange(t *container.Topic, entries []container.IndexEn
 	if err != nil {
 		return nil, 0, err
 	}
-	positions := ix.Query(start, end)
-	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
-	return positions, ix.WindowsScanned(start, end), nil
+	return ix.QuerySorted(start, end), ix.WindowsScanned(start, end), nil
 }
 
 // timeIndex loads (or rebuilds) the coarse-grain time index of a topic.
@@ -285,25 +316,10 @@ func (bag *Bag) timeIndex(t *container.Topic) (*timeindex.Index, error) {
 // time (Fig 8): the coarse-grain time index reduces each topic's scan to
 // the windows overlapping [start, end] before the fine-grain timestamp
 // filter.
-func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
-	sp := bag.ops.readTime.Start()
-	defer func() { sp.EndErr(err) }()
-	if end.IsZero() {
-		end = bagio.MaxTime
-	}
-	if end.Before(start) {
-		return fmt.Errorf("bora: end time %v before start time %v", end, start)
-	}
-	resolved, err := bag.resolve(topics)
-	if err != nil {
-		return err
-	}
-	for _, t := range resolved {
-		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
-			return err
-		}
-	}
-	return nil
+//
+// Deprecated: use Query with Start/End set.
+func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
+	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end}, fn)
 }
 
 // mergeItem is one cursor of the chronological merge.
@@ -332,10 +348,10 @@ func (h *mergeHeap) Pop() interface{} {
 
 // ReadMessagesChrono yields messages of the requested topics in global
 // timestamp order, merging the per-topic streams through a k-way heap.
-// It exists for consumers (e.g. SLAM replays) that need cross-topic
-// chronology; pure extraction workloads should prefer ReadMessages.
+//
+// Deprecated: use Query with Order: OrderTime.
 func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
-	return bag.readMessagesChrono(obs.Span{}, topics, start, end, fn)
+	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end, Order: OrderTime}, fn)
 }
 
 func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {

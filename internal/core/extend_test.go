@@ -170,7 +170,7 @@ func TestRebagTimeAndPredicate(t *testing.T) {
 		Topics: []string{"/imu"},
 		Start:  bagio.TimeFromNanos(base + 2e9),
 		End:    bagio.TimeFromNanos(base + 5e9 - 1),
-		Keep: func(m MessageRef) bool {
+		Predicate: func(m MessageRef) bool {
 			var imu msgs.Imu
 			if err := imu.Unmarshal(m.Data); err != nil {
 				return false

@@ -2,43 +2,38 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/bagio"
+	"sync"
 )
 
-// FilterSpec selects the subset of a bag that Rebag keeps: the listed
-// topics (all when empty) within [Start, End] (the whole axis when both
-// are zero), optionally passing each message through Keep.
-type FilterSpec struct {
-	Topics []string
-	Start  bagio.Time
-	End    bagio.Time
-	// Keep, when non-nil, is the per-message predicate; rebagging "can
-	// extract messages that match a particular filter into a new bag".
-	Keep func(MessageRef) bool
-}
+// FilterSpec is the spec Rebag historically took; it is now the one
+// query-spec type shared across the core API.
+//
+// Deprecated: use QuerySpec (the Keep predicate is its Predicate
+// field).
+type FilterSpec = QuerySpec
 
-// Rebag materializes the filtered subset of bag as a new logical bag on
-// the same back end — the paper's rebagging operation, performed
-// container-to-container so the result is already BORA-organized (no
-// intermediate bag file, no re-duplication).
-func (b *BORA) Rebag(bag *Bag, newName string, spec FilterSpec) (*Bag, int64, error) {
+// Rebag materializes the subset of bag selected by spec as a new
+// logical bag on the same back end — the paper's rebagging operation,
+// performed container-to-container so the result is already
+// BORA-organized (no intermediate bag file, no re-duplication). Any
+// QuerySpec works: writes are serialized internally, so parallel plans
+// are safe, and per-topic message order is preserved regardless of the
+// delivery order queried.
+func (b *BORA) Rebag(bag *Bag, newName string, spec QuerySpec) (*Bag, int64, error) {
 	if bag == nil {
 		return nil, 0, fmt.Errorf("bora: nil source bag")
-	}
-	end := spec.End
-	if end.IsZero() {
-		end = bagio.MaxTime
 	}
 	rec, err := b.CreateBag(newName)
 	if err != nil {
 		return nil, 0, err
 	}
-	var kept int64
-	err = bag.ReadMessagesTime(spec.Topics, spec.Start, end, func(m MessageRef) error {
-		if spec.Keep != nil && !spec.Keep(m) {
-			return nil
-		}
+	var (
+		mu   sync.Mutex
+		kept int64
+	)
+	err = bag.Query(spec, func(m MessageRef) error {
+		mu.Lock()
+		defer mu.Unlock()
 		kept++
 		return rec.WriteRaw(m.Conn.Topic, m.Conn.Type, m.Time, m.Data)
 	})

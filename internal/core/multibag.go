@@ -74,31 +74,19 @@ type MultiRef struct {
 	MessageRef
 }
 
-// ReadMessages extracts the topics from every bag concurrently (one
-// goroutine per bag, mirroring one process per bag in the paper). The
-// callback may be invoked from multiple goroutines; it must be
+// Query runs the same QuerySpec against every member bag concurrently
+// (one goroutine per bag, mirroring one process per bag in the paper).
+// The callback may be invoked from multiple goroutines; it must be
 // goroutine-safe. The first error cancels the remaining work at bag
 // granularity.
-func (mb *MultiBag) ReadMessages(topics []string, fn func(MultiRef) error) error {
-	return mb.read(topics, bagio.MinTime, bagio.MaxTime, fn)
-}
-
-// ReadMessagesTime is ReadMessages bounded to [start, end].
-func (mb *MultiBag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MultiRef) error) error {
-	if end.IsZero() {
-		end = bagio.MaxTime
-	}
-	return mb.read(topics, start, end, fn)
-}
-
-func (mb *MultiBag) read(topics []string, start, end bagio.Time, fn func(MultiRef) error) error {
+func (mb *MultiBag) Query(spec QuerySpec, fn func(MultiRef) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(mb.bags))
 	for i, bag := range mb.bags {
 		wg.Add(1)
 		go func(i int, bag *Bag) {
 			defer wg.Done()
-			errs[i] = bag.ReadMessagesTime(topics, start, end, func(m MessageRef) error {
+			errs[i] = bag.Query(spec, func(m MessageRef) error {
 				return fn(MultiRef{BagName: bag.Name(), MessageRef: m})
 			})
 		}(i, bag)
@@ -110,6 +98,20 @@ func (mb *MultiBag) read(topics []string, start, end bagio.Time, fn func(MultiRe
 		}
 	}
 	return nil
+}
+
+// ReadMessages extracts the topics from every bag concurrently.
+//
+// Deprecated: use Query.
+func (mb *MultiBag) ReadMessages(topics []string, fn func(MultiRef) error) error {
+	return mb.Query(QuerySpec{Topics: topics}, fn)
+}
+
+// ReadMessagesTime is ReadMessages bounded to [start, end].
+//
+// Deprecated: use Query with Start/End set.
+func (mb *MultiBag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MultiRef) error) error {
+	return mb.Query(QuerySpec{Topics: topics, Start: start, End: end}, fn)
 }
 
 // Stats sums the member bags' counters.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 )
 
 // ReadMessagesParallel is ReadMessages with the per-topic streams read
@@ -19,17 +20,24 @@ import (
 // the interleaving is arbitrary. fn may be called from several
 // goroutines concurrently and must be goroutine-safe. workers ≤ 0
 // selects GOMAXPROCS.
+//
+// Deprecated: use Query with Workers set (negative for GOMAXPROCS).
 func (bag *Bag) ReadMessagesParallel(topics []string, workers int, fn func(MessageRef) error) error {
-	return bag.readParallel(topics, bagio.MinTime, bagio.MaxTime, workers, fn)
+	if workers <= 0 {
+		workers = -1
+	}
+	return bag.Query(QuerySpec{Topics: topics, Workers: workers}, fn)
 }
 
 // ReadMessagesTimeParallel is ReadMessagesTime with concurrent per-topic
 // streams.
+//
+// Deprecated: use Query with Start/End and Workers set.
 func (bag *Bag) ReadMessagesTimeParallel(topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) error {
-	if end.IsZero() {
-		end = bagio.MaxTime
+	if workers <= 0 {
+		workers = -1
 	}
-	return bag.readParallel(topics, start, end, workers, fn)
+	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end, Workers: workers}, fn)
 }
 
 // errReadCancelled aborts a topic stream whose run has already failed;
@@ -41,8 +49,8 @@ var errReadCancelled = errors.New("core: parallel read cancelled")
 // cancels in-flight topic reads at their next message, so a poisoned
 // topic cannot force the remaining topics to stream in full (nor fn to
 // keep firing) before the error surfaces.
-func (bag *Bag) readParallel(topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
-	sp := bag.ops.readParallel.Start()
+func (bag *Bag) readParallel(parent obs.Span, topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
+	sp := parent.ChildOp(bag.ops.readParallel)
 	defer func() { sp.EndErr(err) }()
 	resolved, err := bag.resolve(topics)
 	if err != nil {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bagio"
+	"repro/internal/obs"
+)
+
+// Order selects the cross-topic delivery order of a Query.
+type Order int
+
+const (
+	// OrderTopic (the default) yields messages grouped by topic in the
+	// order requested, each topic in timestamp order — the
+	// layout-friendly order that streams every topic file sequentially
+	// (Fig 7). Only OrderTopic queries may run parallel plans.
+	OrderTopic Order = iota
+	// OrderTime yields messages in global timestamp order across
+	// topics, merging the per-topic streams through a k-way heap. It
+	// exists for consumers (e.g. SLAM replays) that need cross-topic
+	// chronology; pure extraction workloads should prefer OrderTopic.
+	OrderTime
+)
+
+// QuerySpec describes one read over an open bag. It is the single query
+// spec across the core API: Bag.Query, MultiBag.Query and BORA.Rebag
+// all take it, and the legacy ReadMessages* entry points are thin
+// wrappers that fill one in. The zero value reads every message of
+// every topic, grouped by topic.
+type QuerySpec struct {
+	// Topics to read; empty selects every topic in the bag.
+	Topics []string
+	// Start and End bound the query to [Start, End] inclusive. The
+	// zero Start is the beginning of time; a zero End means
+	// bagio.MaxTime, so a zero window is a full-axis scan.
+	Start bagio.Time
+	End   bagio.Time
+	// Order selects the cross-topic delivery order.
+	Order Order
+	// Workers selects the execution plan for OrderTopic queries: 0
+	// streams the topics serially; any other value fans the per-topic
+	// streams over a worker pool of that size (negative means
+	// GOMAXPROCS). With a pool the callback may fire from several
+	// goroutines at once — it must be goroutine-safe — and the
+	// cross-topic interleaving is arbitrary. Must be 0 with OrderTime:
+	// a chronological merge is inherently serial.
+	Workers int
+	// Predicate, when non-nil, is consulted per message before the
+	// callback; messages it rejects are read but not delivered.
+	Predicate func(MessageRef) bool
+}
+
+// Query reads the bag per spec, invoking fn for every delivered
+// message. The plan — and the obs op it is recorded under — follows
+// from the spec: a full-axis serial scan is core.read, a time-bounded
+// serial scan is core.read_time (the coarse window index prunes the
+// per-topic scans), Workers != 0 is core.read_parallel, and
+// OrderTime is core.read_chrono.
+func (bag *Bag) Query(spec QuerySpec, fn func(MessageRef) error) error {
+	return bag.QuerySpan(obs.Span{}, spec, fn)
+}
+
+// QuerySpan is Query with its span nested under parent (e.g. a pool or
+// vfs operation wrapping the read). A zero parent traces it as a root.
+func (bag *Bag) QuerySpan(parent obs.Span, spec QuerySpec, fn func(MessageRef) error) error {
+	end := spec.End
+	if end.IsZero() {
+		end = bagio.MaxTime
+	}
+	if end.Before(spec.Start) {
+		return fmt.Errorf("bora: end time %v before start time %v", end, spec.Start)
+	}
+	if pred := spec.Predicate; pred != nil {
+		inner := fn
+		fn = func(m MessageRef) error {
+			if !pred(m) {
+				return nil
+			}
+			return inner(m)
+		}
+	}
+	switch {
+	case spec.Order == OrderTime:
+		if spec.Workers != 0 {
+			return fmt.Errorf("bora: OrderTime queries are serial; Workers must be 0, got %d", spec.Workers)
+		}
+		return bag.readMessagesChrono(parent, spec.Topics, spec.Start, end, fn)
+	case spec.Workers != 0:
+		return bag.readParallel(parent, spec.Topics, spec.Start, end, spec.Workers, fn)
+	default:
+		return bag.readSerial(parent, spec.Topics, spec.Start, end, fn)
+	}
+}
+
+// readSerial streams the resolved topics one after another. The span
+// keeps the historical op names: core.read for a full-axis scan
+// (Fig 7), core.read_time when the time index bounds the scan (Fig 8).
+func (bag *Bag) readSerial(parent obs.Span, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+	op := bag.ops.read
+	if start != bagio.MinTime || end != bagio.MaxTime {
+		op = bag.ops.readTime
+	}
+	sp := parent.ChildOp(op)
+	defer func() { sp.EndErr(err) }()
+	resolved, err := bag.resolve(topics)
+	if err != nil {
+		return err
+	}
+	for _, t := range resolved {
+		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

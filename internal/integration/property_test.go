@@ -7,10 +7,23 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/rosbag"
 	"repro/internal/workload"
 )
+
+// stripGenLine drops the gen= line from a meta file's bytes.
+func stripGenLine(buf []byte) []byte {
+	var out []byte
+	for _, line := range bytes.SplitAfter(buf, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("gen=")) {
+			continue
+		}
+		out = append(out, line...)
+	}
+	return out
+}
 
 // treeBytes loads every file under root keyed by relative path.
 func treeBytes(t *testing.T, root string) map[string][]byte {
@@ -27,6 +40,12 @@ func treeBytes(t *testing.T, root string) map[string][]byte {
 		buf, err := os.ReadFile(path)
 		if err != nil {
 			return err
+		}
+		if d.Name() == container.MetaFileName {
+			// The meta's gen= line is a per-seal cache-invalidation
+			// token and unique by design; the fixed point covers the
+			// layout, not the token.
+			buf = stripGenLine(buf)
 		}
 		out[rel] = buf
 		return nil

@@ -55,6 +55,7 @@ const NumBuckets = 65
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	ops      map[string]*Op
 	epoch    time.Time
 	tracer   atomic.Pointer[Tracer]
@@ -64,6 +65,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		ops:      map[string]*Op{},
 		epoch:    time.Now(),
 	}
@@ -111,6 +113,28 @@ func (r *Registry) Counter(name string) *Counter {
 	c = &Counter{}
 	r.counters[name] = c
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// registry it returns nil, which is itself a valid no-op gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
 }
 
 // Op returns the named operation, creating it on first use. On a nil
@@ -164,6 +188,35 @@ func (c *Counter) Load() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is a level instrument: a value that goes up and down (cache
+// residency, queue depth, open handles), as opposed to Counter's
+// monotonic total. The nil *Gauge records nothing.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current level (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // Op accumulates metrics for one named operation: how often it ran, how

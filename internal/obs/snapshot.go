@@ -12,6 +12,7 @@ import (
 // for encoding. Taking a snapshot does not reset the registry.
 type Snapshot struct {
 	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]int64      `json:"gauges,omitempty"`
 	Ops      map[string]OpSnapshot `json:"ops,omitempty"`
 }
 
@@ -67,6 +68,12 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Counters[name] = c.Load()
 		}
 	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Load()
+		}
+	}
 	if len(r.ops) > 0 {
 		snap.Ops = make(map[string]OpSnapshot, len(r.ops))
 		for name, o := range r.ops {
@@ -111,6 +118,17 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 				out.Counters = map[string]int64{}
 			}
 			out.Counters[name] = d
+		}
+	}
+	// Gauges are levels, not totals: a gauge whose level moved in the
+	// interval carries its current value through (subtracting levels
+	// would produce a meaningless number).
+	for name, v := range s.Gauges {
+		if prevV, ok := prev.Gauges[name]; !ok || v != prevV {
+			if out.Gauges == nil {
+				out.Gauges = map[string]int64{}
+			}
+			out.Gauges[name] = v
 		}
 	}
 	for name, o := range s.Ops {
@@ -191,6 +209,16 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		if _, err := fmt.Fprintf(w, "%-28s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-28s %d (gauge)\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}

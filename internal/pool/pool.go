@@ -1,0 +1,275 @@
+// Package pool is the shared serving layer over a core.BORA back end:
+// a concurrency-safe cache of open bag handles plus a bounded block
+// cache under container data reads, built for the read-mostly,
+// reopen-heavy traffic of many concurrent analysis clients.
+//
+// The paper accepts rebuilding the tag manager's hash table on every
+// open because one build is cheap (Table I); with N clients reopening
+// the same bags the rebuilds dominate. The pool keeps an LRU of open
+// *core.Bag handles with singleflight deduplication — N concurrent
+// Acquires of the same bag pay one tag-table/index build — and
+// validates each cached handle against the sealed container meta's
+// generation token, so Remove, Repair and re-Duplicate make stale
+// handles fall out instead of serving a deleted or rebuilt layout.
+package pool
+
+import (
+	"container/list"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Defaults used when an Options field is zero.
+const (
+	DefaultMaxBags         = 64
+	DefaultBlockCacheBytes = 64 << 20
+	DefaultBlockSize       = 256 << 10
+)
+
+// Options configure a Pool.
+type Options struct {
+	// MaxBags bounds the number of resident open handles; zero selects
+	// DefaultMaxBags. Evicted handles stay valid for clients already
+	// holding them (a Bag keeps no open file descriptors between
+	// queries); they simply stop being shared.
+	MaxBags int
+	// BlockCacheBytes bounds the block cache's payload bytes; zero
+	// selects DefaultBlockCacheBytes, negative disables the block
+	// cache entirely.
+	BlockCacheBytes int64
+	// BlockSize is the cache's fixed block width; zero selects
+	// DefaultBlockSize.
+	BlockSize int64
+}
+
+// Pool serves shared open handles for one BORA back end. All methods
+// are safe for concurrent use.
+type Pool struct {
+	b       *core.BORA
+	maxBags int
+	blocks  *BlockLRU // nil when the block cache is disabled
+
+	acquireOp     *obs.Op
+	hits          *obs.Counter // pool.handle_hits
+	misses        *obs.Counter // pool.handle_misses
+	evictions     *obs.Counter // pool.handle_evictions
+	invalidations *obs.Counter // pool.handle_invalidations
+	resident      *obs.Gauge   // pool.handles_resident
+
+	mu       sync.Mutex
+	bags     map[string]*entry
+	lru      *list.List // of *entry; front = most recently acquired
+	hitN     int64
+	missN    int64
+	evictN   int64
+	invalidN int64
+}
+
+// entry is one pooled bag. Its mutex is the singleflight gate: the
+// holder is the one client opening (or validating) the handle, and
+// every concurrent Acquire of the same name waits on it instead of
+// starting its own tag-table build.
+type entry struct {
+	name string
+	elem *list.Element
+
+	mu  sync.Mutex
+	bag *core.Bag
+	gen uint64 // container generation the handle was opened under
+}
+
+// New builds a pool over b, registering its metrics on b's obs
+// registry (see DESIGN.md for the metric names).
+func New(b *core.BORA, opts Options) *Pool {
+	if opts.MaxBags <= 0 {
+		opts.MaxBags = DefaultMaxBags
+	}
+	reg := b.Obs()
+	p := &Pool{
+		b:             b,
+		maxBags:       opts.MaxBags,
+		acquireOp:     reg.Op("pool.acquire"),
+		hits:          reg.Counter("pool.handle_hits"),
+		misses:        reg.Counter("pool.handle_misses"),
+		evictions:     reg.Counter("pool.handle_evictions"),
+		invalidations: reg.Counter("pool.handle_invalidations"),
+		resident:      reg.Gauge("pool.handles_resident"),
+		bags:          map[string]*entry{},
+		lru:           list.New(),
+	}
+	if opts.BlockCacheBytes >= 0 {
+		capacity := opts.BlockCacheBytes
+		if capacity == 0 {
+			capacity = DefaultBlockCacheBytes
+		}
+		blockSize := opts.BlockSize
+		if blockSize <= 0 {
+			blockSize = DefaultBlockSize
+		}
+		p.blocks = NewBlockLRU(capacity, blockSize, reg)
+	}
+	return p
+}
+
+// Backend returns the BORA instance the pool serves.
+func (p *Pool) Backend() *core.BORA { return p.b }
+
+// BlockCache returns the pool's shared block cache (nil when disabled).
+func (p *Pool) BlockCache() *BlockLRU { return p.blocks }
+
+// Acquire returns an open handle for the named bag, sharing one handle
+// across all concurrent clients. A resident handle costs one small
+// meta read (the staleness probe); a miss performs the cold open —
+// deduplicated, so concurrent misses on the same name build once —
+// and plugs the pool's block cache under the container's data reads.
+func (p *Pool) Acquire(name string) (*core.Bag, error) {
+	return p.AcquireSpan(name, obs.Span{})
+}
+
+// AcquireSpan is Acquire with the pool.acquire span nested under parent
+// (e.g. a front-end vfs.open). A zero parent traces it as a root.
+func (p *Pool) AcquireSpan(name string, parent obs.Span) (*core.Bag, error) {
+	sp := parent.ChildOp(p.acquireOp)
+	bag, hit, err := p.acquire(name, sp)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	p.mu.Lock()
+	if hit {
+		p.hitN++
+	} else {
+		p.missN++
+	}
+	p.mu.Unlock()
+	if hit {
+		p.hits.Inc()
+	} else {
+		p.misses.Inc()
+	}
+	sp.End()
+	return bag, nil
+}
+
+func (p *Pool) acquire(name string, sp obs.Span) (*core.Bag, bool, error) {
+	e := p.entryFor(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bag != nil {
+		// Staleness probe: re-read the container meta and compare the
+		// generation token minted at seal time. One ~200-byte file read
+		// against the readdir + per-topic connection loads + tag-table
+		// build of a cold open — and it catches out-of-band mutations
+		// (Repair, Remove + re-Duplicate) that never went through this
+		// pool.
+		meta, err := container.ReadMeta(filepath.Join(p.b.Root(), name))
+		if err == nil && meta.Sealed() && meta.Gen == e.gen {
+			return e.bag, true, nil
+		}
+		e.bag = nil // stale: fall through to a fresh open
+		p.mu.Lock()
+		p.invalidN++
+		p.mu.Unlock()
+		p.invalidations.Inc()
+	}
+	bag, err := p.b.OpenSpan(name, sp)
+	if err != nil {
+		p.drop(e) // do not cache failures
+		return nil, false, err
+	}
+	if p.blocks != nil {
+		bag.Container().SetBlockCache(p.blocks)
+	}
+	e.bag, e.gen = bag, bag.Container().Generation()
+	return bag, false, nil
+}
+
+// entryFor returns the live entry for name, creating it (and evicting
+// from the cold end past MaxBags) as needed.
+func (p *Pool) entryFor(name string) *entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.bags[name]; ok {
+		p.lru.MoveToFront(e.elem)
+		return e
+	}
+	e := &entry{name: name}
+	e.elem = p.lru.PushFront(e)
+	p.bags[name] = e
+	for len(p.bags) > p.maxBags {
+		back := p.lru.Back()
+		ev := back.Value.(*entry)
+		p.lru.Remove(back)
+		delete(p.bags, ev.name)
+		p.evictN++
+		p.evictions.Inc()
+	}
+	p.resident.Set(int64(len(p.bags)))
+	return e
+}
+
+// drop removes e if it is still the live entry for its name (a newer
+// entry may have replaced it after an eviction).
+func (p *Pool) drop(e *entry) {
+	p.mu.Lock()
+	if cur, ok := p.bags[e.name]; ok && cur == e {
+		delete(p.bags, e.name)
+		p.lru.Remove(e.elem)
+		p.resident.Set(int64(len(p.bags)))
+	}
+	p.mu.Unlock()
+}
+
+// Invalidate discards the pooled handle for name, if any. The next
+// Acquire performs a cold open. Clients still holding the old handle
+// keep a valid (but possibly stale) view.
+func (p *Pool) Invalidate(name string) {
+	p.mu.Lock()
+	if e, ok := p.bags[name]; ok {
+		delete(p.bags, name)
+		p.lru.Remove(e.elem)
+		p.invalidN++
+		p.invalidations.Inc()
+		p.resident.Set(int64(len(p.bags)))
+	}
+	p.mu.Unlock()
+}
+
+// Remove deletes the named bag from the back end and invalidates its
+// pooled handle. Removals that bypass the pool are still caught by the
+// staleness probe (the meta read fails), just one Acquire later.
+func (p *Pool) Remove(name string) error {
+	p.Invalidate(name)
+	return p.b.Remove(name)
+}
+
+// Stats is a point-in-time summary of the pool's caches.
+type Stats struct {
+	HandleHits          int64
+	HandleMisses        int64
+	HandleEvictions     int64
+	HandleInvalidations int64
+	HandlesResident     int
+	Block               BlockStats // zero when the block cache is disabled
+}
+
+// Stats returns the pool's current counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	s := Stats{
+		HandleHits:          p.hitN,
+		HandleMisses:        p.missN,
+		HandleEvictions:     p.evictN,
+		HandleInvalidations: p.invalidN,
+		HandlesResident:     len(p.bags),
+	}
+	p.mu.Unlock()
+	if p.blocks != nil {
+		s.Block = p.blocks.Stats()
+	}
+	return s
+}

@@ -147,11 +147,13 @@ func Build(paths map[string]string) *Table {
 
 // BuildSpan is Build recorded as a tagman.build child span of parent —
 // the on-the-fly hash-table construction cost of Table I, nested under
-// the open that triggered it. A zero parent records nothing.
+// the open that triggered it. The span's byte volume is the finished
+// table's footprint (the "Hash Table Size" column), so snapshots show
+// how much table memory each open built. A zero parent records nothing.
 func BuildSpan(paths map[string]string, parent obs.Span) *Table {
 	sp := parent.Child("tagman.build")
 	t := Build(paths)
-	sp.End()
+	sp.EndBytes(int64(t.SizeBytes()))
 	return t
 }
 

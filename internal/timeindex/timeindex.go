@@ -118,6 +118,22 @@ func (ix *Index) Query(start, end bagio.Time) []uint32 {
 	return out
 }
 
+// QuerySorted is Query with the positions returned in ascending
+// ordinal order, which is what scan planners want (a monotone file
+// walk). Containers built from time-ordered topic streams — the normal
+// duplicate output — already yield ascending positions, so the sort is
+// skipped unless a single verification pass finds an inversion.
+func (ix *Index) QuerySorted(start, end bagio.Time) []uint32 {
+	out := ix.Query(start, end)
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+			break
+		}
+	}
+	return out
+}
+
 // WindowsScanned reports how many populated windows a [start, end] query
 // touches; the cost-model validation uses it.
 func (ix *Index) WindowsScanned(start, end bagio.Time) int {
