@@ -22,6 +22,8 @@
 //	-pool             serve bag opens through a shared handle pool
 //	                  (internal/pool: cached opens, block cache) and print
 //	                  its hit/miss/eviction stats to stderr afterwards
+//	-remote ADDR      run query/topics against a borad daemon at ADDR over
+//	                  the wire protocol instead of opening -backend locally
 //
 // The flags compose: each independently enables the shared registry, so
 // e.g. -trace alone collects metrics too (they are simply not printed),
@@ -116,6 +118,9 @@ globalFlags:
 		case args[0] == "-pool":
 			usePool = true
 			args = args[1:]
+		case args[0] == "-remote" && len(args) > 1:
+			remoteAddr = args[1]
+			args = args[2:]
 		default:
 			break globalFlags
 		}
@@ -206,7 +211,7 @@ func writeTraceFile(path string, tr *obs.Tracer) error {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] [-pool] <command> [flags]
+	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] [-pool] [-remote ADDR] <command> [flags]
 
 commands:
   record     synthesize a Handheld-SLAM-like bag (Table II mix)
@@ -326,6 +331,9 @@ func cmdTopics(args []string) error {
 	backend := backendFlag(fs)
 	name := fs.String("name", "", "logical bag name (required)")
 	fs.Parse(args)
+	if remoteAddr != "" {
+		return remoteTopics(*name)
+	}
 	b, err := openBackend(*backend)
 	if err != nil {
 		return err
@@ -359,6 +367,16 @@ func cmdQuery(args []string) error {
 	chrono := fs.Bool("chrono", false, "deliver messages in global timestamp order (serial)")
 	quiet := fs.Bool("q", false, "suppress per-message output")
 	fs.Parse(args)
+	if remoteAddr != "" {
+		if *parallel != 0 {
+			return fmt.Errorf("query: -parallel is not supported with -remote (the daemon streams serially per query)")
+		}
+		var topics []string
+		if *topicsArg != "" {
+			topics = strings.Split(*topicsArg, ",")
+		}
+		return remoteQuery(*name, topics, *startSec, *endSec, *chrono, *quiet)
+	}
 	b, err := openBackend(*backend)
 	if err != nil {
 		return err

@@ -1,0 +1,75 @@
+// Remote mode: with the global -remote ADDR flag, query and topics run
+// against a borad daemon over the wire protocol instead of opening a
+// back-end directory locally, so many CLI invocations share one
+// daemon's handle pool and block cache.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/client"
+)
+
+// remoteAddr is the global -remote flag: when non-empty, subcommands
+// that read bags (query, topics) talk to a borad daemon at this
+// address instead of a local -backend directory.
+var remoteAddr string
+
+func dialRemote() (*client.Client, error) {
+	return client.Dial(remoteAddr, client.Options{})
+}
+
+// remoteTopics is cmdTopics against a daemon.
+func remoteTopics(name string) error {
+	cl, err := dialRemote()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	bi, err := cl.Info(name)
+	if err != nil {
+		return err
+	}
+	for _, t := range bi.Topics {
+		fmt.Printf("%-32s %8d msgs  %s\n", t.Topic, t.Count, t.Type)
+	}
+	return nil
+}
+
+// remoteQuery is cmdQuery against a daemon: one streaming QUERY with
+// the same topic/time/order selection, counting messages and bytes.
+func remoteQuery(name string, topics []string, startSec, endSec float64, chrono, quiet bool) error {
+	cl, err := dialRemote()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	spec := client.QuerySpec{
+		Topics: topics,
+		Start:  bagio.TimeFromNanos(int64(startSec * 1e9)),
+		Chrono: chrono,
+	}
+	if endSec > 0 {
+		spec.End = bagio.TimeFromNanos(int64(endSec * 1e9))
+	}
+	queryStart := time.Now()
+	st, err := cl.Query(name, spec)
+	if err != nil {
+		return err
+	}
+	for st.Next() {
+		if !quiet {
+			m := st.Message()
+			fmt.Printf("%s %-32s %d bytes\n", m.Time, m.Topic, len(m.Data))
+		}
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	count, bytes := st.Received()
+	fmt.Printf("remote query %v: %d messages, %d bytes from %s\n",
+		time.Since(queryStart), count, bytes, remoteAddr)
+	return nil
+}

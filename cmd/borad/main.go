@@ -1,0 +1,124 @@
+// Command borad is the BORA bag-serving daemon: it exposes a back-end
+// directory of organized containers over the length-prefixed wire
+// protocol (internal/server/wire), serving every open through a shared
+// handle pool so concurrent clients reuse hot bag handles and block
+// cache instead of paying a cold open per query.
+//
+// Usage:
+//
+//	borad -backend DIR [-listen ADDR] [-http ADDR] [-pool=false]
+//	      [-max-queries N] [-drain DUR]
+//
+// Flags:
+//
+//	-backend DIR    BORA back-end directory to serve (required)
+//	-listen ADDR    TCP listen address for the wire protocol (default :7712)
+//	-http ADDR      optional HTTP sidecar: /metrics (obs snapshot JSON),
+//	                /healthz (200 ok / 503 draining), /statz (server stats)
+//	-pool           serve opens through a shared handle pool (default true;
+//	                -pool=false cold-opens per query, the paper's baseline)
+//	-max-queries N  concurrent query streams admitted across all
+//	                connections before BUSY (default 64)
+//	-drain DUR      graceful-drain deadline on SIGTERM/SIGINT (default 30s)
+//
+// On SIGTERM or SIGINT the daemon drains: listeners close, in-flight
+// query streams run to completion (bounded by -drain), then it exits. A
+// second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		backend    = flag.String("backend", "", "BORA back-end directory (required)")
+		listen     = flag.String("listen", ":7712", "TCP listen address for the wire protocol")
+		httpAddr   = flag.String("http", "", "HTTP sidecar listen address (empty = disabled)")
+		usePool    = flag.Bool("pool", true, "serve opens through a shared handle pool")
+		maxQueries = flag.Int("max-queries", server.DefaultMaxQueries, "concurrent query streams before BUSY")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if err := run(*backend, *listen, *httpAddr, *usePool, *maxQueries, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "borad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(backend, listen, httpAddr string, usePool bool, maxQueries int, drain time.Duration) error {
+	if backend == "" {
+		return fmt.Errorf("-backend is required")
+	}
+	reg := obs.NewRegistry()
+	b, err := core.New(backend, core.Options{Obs: reg})
+	if err != nil {
+		return err
+	}
+	opts := server.Options{MaxQueries: maxQueries}
+	if usePool {
+		opts.Pool = pool.New(b, pool.Options{})
+	}
+	srv := server.New(b, opts)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "borad: serving %s on %s (pool=%v, max-queries=%d)\n",
+		backend, ln.Addr(), usePool, maxQueries)
+
+	var hsrv *http.Server
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "borad: http sidecar on %s\n", hln.Addr())
+		hsrv = &http.Server{Handler: srv.HTTPHandler()}
+		go hsrv.Serve(hln)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "borad: %v: draining (deadline %v)\n", sig, drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "borad: second signal: aborting")
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	if hsrv != nil {
+		hsrv.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "borad: drained")
+	return nil
+}

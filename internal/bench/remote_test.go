@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/core"
+	"repro/internal/msgs"
+	"repro/internal/pool"
+	"repro/internal/rosbag"
+)
+
+// TestRemoteClientsPooledBeatsCold runs the remote-clients measurement
+// at test-friendly sizes and asserts the experiment's headline: a
+// daemon serving opens through the shared pool answers a fleet of
+// remote clients faster than one paying a cold container open per
+// query. The fixture has many small topics, so the per-open cost (one
+// connection load per topic plus the tag-table build) dominates the
+// tiny per-query read — the shape the handle cache is for.
+func TestRemoteClientsPooledBeatsCold(t *testing.T) {
+	const (
+		topics      = 48
+		per         = 4
+		numBags     = 3
+		numClients  = 4
+		queriesEach = 6
+	)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.bag")
+	w, f, err := rosbag.Create(src, rosbag.WriterOptions{ChunkThreshold: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_000_000_000_000_000_000)
+	for i := 0; i < topics; i++ {
+		topic := fmt.Sprintf("/sensor%02d", i)
+		for j := 0; j < per; j++ {
+			ts := bagio.TimeFromNanos(base + int64(j)*1e8)
+			m := &msgs.Imu{Header: msgs.Header{Seq: uint32(j), Stamp: ts, FrameID: topic}}
+			if err := w.WriteMsg(topic, ts, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{TimeWindow: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, numBags)
+	for i := range names {
+		names[i] = fmt.Sprintf("robot%d", i)
+		if _, _, err := backend.Duplicate(src, names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Best-of-2 per scenario to damp scheduler noise; the query reads
+	// one topic so the stream itself is negligible next to the open.
+	measure := func(pl *pool.Pool) time.Duration {
+		t.Helper()
+		best := time.Duration(0)
+		for r := 0; r < 2; r++ {
+			d, err := remoteClientsRun(backend, names, numClients, queriesEach, pl, []string{"/sensor00"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	cold := measure(nil)
+	p := pool.New(backend, pool.Options{})
+	pooled := measure(p)
+
+	s := p.Stats()
+	if s.HandleMisses != int64(numBags) {
+		t.Errorf("pooled run cold-opened %d times, want one per bag (%d)", s.HandleMisses, numBags)
+	}
+	if s.HandleHits == 0 {
+		t.Error("pooled run recorded no handle hits")
+	}
+	t.Logf("cold %v, pooled %v (%d queries, %d-topic bags)", cold, pooled, numClients*queriesEach, topics)
+	if pooled >= cold {
+		t.Errorf("pooled remote serving (%v) not faster than per-query cold opens (%v)", pooled, cold)
+	}
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/rosbag"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("remote-clients", runRemoteClients)
+}
+
+// remoteClientsRun serves `b` on an ephemeral loopback port — through
+// `pl` when non-nil, cold-opening per query when nil — and drives
+// numClients concurrent wire-protocol clients through queriesEach
+// streaming queries each, striding over `names`. It returns the
+// wall-clock total for the whole client fleet. Shared with the
+// remote-clients assertion test, which runs it at smaller sizes.
+func remoteClientsRun(b *core.BORA, names []string, numClients, queriesEach int, pl *pool.Pool, topics []string) (time.Duration, error) {
+	srv := server.New(b, server.Options{Pool: pl, MaxQueries: numClients})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	errs := make([]error, numClients)
+	start := time.Now()
+	for c := 0; c < numClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < queriesEach; i++ {
+				st, err := cl.Query(names[(c+i)%len(names)], client.QuerySpec{Topics: topics})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				for st.Next() {
+				}
+				if err := st.Err(); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil && err != server.ErrServerClosed {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// runRemoteClients measures the serving daemon under many concurrent
+// remote clients: the same fleet of K clients x M streaming queries
+// over loopback TCP, first against a server that cold-opens the
+// container per query (the per-request-open baseline), then against
+// one serving every open through the shared handle pool. The wire
+// protocol, framing and flow control are identical in both rows — the
+// delta isolates what the pooled serving layer buys a daemon's worth
+// of remote traffic.
+func runRemoteClients(reg *obs.Registry) (*Table, error) {
+	const (
+		numBags     = 4
+		numClients  = 12
+		queriesEach = 8
+	)
+	t := &Table{
+		ID:     "remote-clients",
+		Title:  "Remote serving: per-query cold opens vs shared pool (loopback TCP)",
+		Header: []string{"scenario", "total", "per query", "speedup vs cold", "queries"},
+		Notes: []string{
+			fmt.Sprintf("%d clients x %d streaming queries each over %d bags, one borad-style server per scenario", numClients, queriesEach, numBags),
+			"cold = server cold-opens the container per QUERY;",
+			"pooled = server opens through internal/pool (shared handles + block cache)",
+		},
+	}
+	dir, err := os.MkdirTemp("", "bora-remote-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	src := filepath.Join(dir, "src.bag")
+	if _, err := workload.WriteHandheldSLAMBag(src, workload.SyntheticOptions{
+		Seconds: 4, ScaleDown: 2000,
+		Writer: rosbag.WriterOptions{ChunkThreshold: 64 * 1024},
+	}); err != nil {
+		return nil, err
+	}
+	backend, err := core.New(filepath.Join(dir, "backend"), core.Options{Obs: reg})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, numBags)
+	for i := range names {
+		names[i] = fmt.Sprintf("robot%d", i)
+		if _, _, err := backend.Duplicate(src, names[i]); err != nil {
+			return nil, err
+		}
+	}
+	totalQueries := numClients * queriesEach
+	perQuery := func(d time.Duration) time.Duration { return d / time.Duration(totalQueries) }
+
+	// Two query shapes: a metadata-light stream where the per-query
+	// open dominates (what the pool amortizes) and the bulk /imu
+	// stream where the wire transfer itself is the bill.
+	var p *pool.Pool
+	for _, shape := range []struct {
+		label  string
+		topics []string
+	}{
+		{"camera_info (open-bound)", []string{workload.TopicRGBCameraInfo}},
+		{"/imu bulk (stream-bound)", []string{workload.TopicIMU}},
+	} {
+		coldTotal, err := remoteClientsRun(backend, names, numClients, queriesEach, nil, shape.topics)
+		if err != nil {
+			return nil, err
+		}
+		p = pool.New(backend, pool.Options{})
+		pooledTotal, err := remoteClientsRun(backend, names, numClients, queriesEach, p, shape.topics)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows,
+			[]string{"cold  " + shape.label, fmtDur(coldTotal), fmtDur(perQuery(coldTotal)), "1.00x", fmt.Sprintf("%d", totalQueries)},
+			[]string{"pooled " + shape.label, fmtDur(pooledTotal), fmtDur(perQuery(pooledTotal)), fmtRatio(coldTotal, pooledTotal), fmt.Sprintf("%d", totalQueries)},
+		)
+	}
+	s := p.Stats()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("pool (last scenario): %d handle hits / %d misses (%d bags resident); block cache: %d hits / %d misses",
+			s.HandleHits, s.HandleMisses, s.HandlesResident, s.Block.Hits, s.Block.Misses))
+	if reg != nil {
+		t.Phases = []Phase{{Name: "pooled", Snap: reg.Snapshot()}}
+	}
+	return t, nil
+}

@@ -1,0 +1,475 @@
+// Package client is the Go client library for borad, BORA's network
+// bag-serving daemon (internal/server). It speaks the wire protocol of
+// internal/server/wire over one TCP connection:
+//
+//	cl, err := client.Dial("127.0.0.1:4650", client.Options{})
+//	st, err := cl.Query("robot1", client.QuerySpec{Topics: []string{"/imu"}})
+//	for st.Next() {
+//	    m := st.Message() // Topic, Type, Time, Data
+//	}
+//	err = st.Err()
+//
+// Dial and Query retry with exponential backoff — Dial on connection
+// refusal, Query on the server's typed BUSY admission reject — and a
+// query stream acknowledges consumed frames through a bounded credit
+// window, so the server never buffers more than Options.Window frames
+// ahead of the consumer.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bagio"
+	"repro/internal/server/wire"
+)
+
+// Defaults used when an Options field is zero.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultAttempts    = 4
+	DefaultBackoff     = 50 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+	DefaultWindow      = 64
+)
+
+// ErrBusy wraps the server's typed BUSY reject; surfaced only after
+// the retry budget is spent. Test with errors.Is.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrStreamActive rejects requests issued while a query stream is
+// being consumed on the same connection.
+var ErrStreamActive = errors.New("client: a query stream is active on this connection")
+
+// Options configure a Client.
+type Options struct {
+	// DialTimeout bounds each TCP connect attempt; zero selects
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Attempts is the total try budget for Dial and for each Query's
+	// BUSY retries; zero selects DefaultAttempts, 1 disables retry.
+	Attempts int
+	// Backoff is the sleep before the second attempt, doubling per
+	// attempt up to BackoffMax; zeros select DefaultBackoff/-Max.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Window is the query flow-control window: the server keeps at
+	// most this many MSG frames in flight beyond what the stream has
+	// acknowledged. Zero selects DefaultWindow; negative disables flow
+	// control (the server streams as fast as TCP accepts).
+	Window int
+	// MaxFrame bounds inbound frames; zero selects wire.DefaultMaxFrame.
+	MaxFrame uint32
+}
+
+func (o *Options) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = DefaultAttempts
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+}
+
+// backoff returns the sleep before attempt i (i ≥ 1).
+func (o *Options) backoff(i int) time.Duration {
+	d := o.Backoff << (i - 1)
+	if d > o.BackoffMax || d <= 0 {
+		d = o.BackoffMax
+	}
+	return d
+}
+
+// Client is one connection to a borad daemon. Methods are safe for
+// concurrent use but execute one request at a time; while a query
+// stream is open, other requests fail with ErrStreamActive.
+type Client struct {
+	addr string
+	opts Options
+
+	mu        sync.Mutex
+	nc        net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	streaming bool
+}
+
+// Dial connects to a borad daemon, retrying failed connects
+// opts.Attempts times with exponential backoff.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.fill()
+	var lastErr error
+	for i := 0; i < opts.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(opts.backoff(i))
+		}
+		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			return &Client{
+				addr: addr,
+				opts: opts,
+				nc:   nc,
+				br:   bufio.NewReaderSize(nc, 64<<10),
+				bw:   bufio.NewWriterSize(nc, 64<<10),
+			}, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, lastErr, opts.Attempts)
+}
+
+// Close tears the connection down. Closing with a stream in flight
+// aborts it server-side (the daemon observes the disconnect and cancels
+// the query).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc = nil
+	return err
+}
+
+// writeFrame sends one frame; callers hold c.mu.
+func (c *Client) writeFrame(op byte, payload []byte) error {
+	if c.nc == nil {
+		return net.ErrClosed
+	}
+	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// roundTrip sends one request and reads its single response frame,
+// mapping ERR and BUSY frames to errors; callers hold c.mu.
+func (c *Client) roundTrip(op byte, payload []byte) (wire.Frame, error) {
+	if err := c.writeFrame(op, payload); err != nil {
+		return wire.Frame{}, err
+	}
+	f, err := wire.ReadFrame(c.br, c.opts.MaxFrame)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	switch f.Op {
+	case wire.OpErr:
+		return wire.Frame{}, fmt.Errorf("client: server error: %s", f.Payload)
+	case wire.OpBusy:
+		return wire.Frame{}, fmt.Errorf("%w: %s", ErrBusy, f.Payload)
+	}
+	return f, nil
+}
+
+func (c *Client) locked(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.streaming {
+		return ErrStreamActive
+	}
+	return fn()
+}
+
+// Ping round-trips an empty frame and returns the measured latency.
+func (c *Client) Ping() (time.Duration, error) {
+	var rtt time.Duration
+	err := c.locked(func() error {
+		start := time.Now()
+		f, err := c.roundTrip(wire.OpPing, nil)
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpPong {
+			return fmt.Errorf("client: ping answered with opcode 0x%02x", f.Op)
+		}
+		rtt = time.Since(start)
+		return nil
+	})
+	return rtt, err
+}
+
+// Open asks the daemon to open (and pool) the named bag, surfacing any
+// open error without starting a stream.
+func (c *Client) Open(name string) error {
+	return c.locked(func() error {
+		f, err := c.roundTrip(wire.OpOpen, []byte(name))
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpOK {
+			return fmt.Errorf("client: open answered with opcode 0x%02x", f.Op)
+		}
+		return nil
+	})
+}
+
+// Info returns the named bag's topics with message counts.
+func (c *Client) Info(name string) (wire.BagInfo, error) {
+	var bi wire.BagInfo
+	err := c.locked(func() error {
+		f, err := c.roundTrip(wire.OpInfo, []byte(name))
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpBagInfo {
+			return fmt.Errorf("client: info answered with opcode 0x%02x", f.Op)
+		}
+		bi, err = wire.DecodeBagInfo(f.Payload)
+		return err
+	})
+	return bi, err
+}
+
+// Stats returns the daemon's serving counters.
+func (c *Client) Stats() (wire.ServerStats, error) {
+	var st wire.ServerStats
+	err := c.locked(func() error {
+		f, err := c.roundTrip(wire.OpStats, nil)
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpOK {
+			return fmt.Errorf("client: stats answered with opcode 0x%02x", f.Op)
+		}
+		return json.Unmarshal(f.Payload, &st)
+	})
+	return st, err
+}
+
+// QuerySpec describes one remote query — the network mirror of
+// core.QuerySpec's declarative fields (execution knobs like Workers
+// stay server-side).
+type QuerySpec struct {
+	// Topics to read; empty selects every topic of the bag.
+	Topics []string
+	// Start and End bound the query to [Start, End]; a zero End means
+	// end of bag.
+	Start, End bagio.Time
+	// Chrono delivers messages in global timestamp order across topics
+	// (core.OrderTime) instead of grouped by topic.
+	Chrono bool
+}
+
+// Query starts a streaming query against the named bag, retrying BUSY
+// rejects with backoff. On success the returned Stream must be
+// consumed (Next until false) or Closed before the next request on
+// this client.
+func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
+	req := wire.QueryReq{
+		Name:   name,
+		Topics: q.Topics,
+		Start:  q.Start,
+		End:    q.End,
+	}
+	if q.Chrono {
+		req.Order = wire.OrderTime
+	}
+	if c.opts.Window > 0 {
+		req.Window = uint32(c.opts.Window)
+	}
+	payload := wire.EncodeQuery(req)
+	var lastErr error
+	for i := 0; i < c.opts.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(c.opts.backoff(i))
+		}
+		var st *Stream
+		err := c.locked(func() error {
+			f, err := c.roundTrip(wire.OpQuery, payload)
+			if err != nil {
+				return err
+			}
+			if f.Op != wire.OpQueryHdr {
+				return fmt.Errorf("client: query answered with opcode 0x%02x", f.Op)
+			}
+			conns, err := wire.DecodeQueryHdr(f.Payload)
+			if err != nil {
+				return err
+			}
+			c.streaming = true
+			creditAt := c.opts.Window / 2
+			if creditAt < 1 {
+				creditAt = 1
+			}
+			st = &Stream{c: c, conns: conns, creditAt: creditAt, flow: c.opts.Window > 0}
+			return nil
+		})
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrBusy) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Message is one streamed query result. Data is owned by the caller
+// (each frame allocates fresh).
+type Message struct {
+	Topic string
+	Type  string
+	Time  bagio.Time
+	Data  []byte
+}
+
+// Stream iterates a query's results:
+//
+//	for st.Next() { use(st.Message()) }
+//	err := st.Err()
+//
+// Next acknowledges consumed frames through the credit window as it
+// goes. A Stream is not safe for concurrent use.
+type Stream struct {
+	c        *Client
+	conns    []wire.ConnMeta
+	creditAt int
+	flow     bool
+
+	unacked  int
+	cur      Message
+	count    uint64
+	bytes    uint64
+	err      error
+	finished bool
+}
+
+// Next advances to the next message, returning false at end of stream
+// or on error (check Err).
+func (st *Stream) Next() bool {
+	if st.finished || st.err != nil {
+		return false
+	}
+	c := st.c
+	if st.flow && st.unacked >= st.creditAt {
+		c.mu.Lock()
+		err := c.writeFrame(wire.OpCredit, wire.EncodeCredit(uint32(st.unacked)))
+		c.mu.Unlock()
+		if err != nil {
+			// Not fatal: the server may have finished the stream and
+			// closed the connection while END is still buffered on our
+			// side (a drain does exactly this). Stop granting and keep
+			// reading; a genuinely dead connection fails the next read.
+			st.flow = false
+		} else {
+			st.unacked = 0
+		}
+	}
+	f, err := wire.ReadFrame(c.br, c.opts.MaxFrame)
+	if err != nil {
+		st.fail(err)
+		return false
+	}
+	switch f.Op {
+	case wire.OpMsg:
+		m, err := wire.DecodeMsg(f.Payload)
+		if err != nil {
+			st.fail(err)
+			return false
+		}
+		if int(m.Conn) >= len(st.conns) {
+			st.fail(fmt.Errorf("client: message for unknown connection %d", m.Conn))
+			return false
+		}
+		meta := st.conns[m.Conn]
+		st.cur = Message{Topic: meta.Topic, Type: meta.Type, Time: m.Time, Data: m.Data}
+		st.unacked++
+		st.count++
+		st.bytes += uint64(len(m.Data))
+		return true
+	case wire.OpEnd:
+		end, err := wire.DecodeEnd(f.Payload)
+		if err != nil {
+			st.fail(err)
+			return false
+		}
+		if end.Count != st.count {
+			st.fail(fmt.Errorf("client: stream ended after %d messages, server reports %d", st.count, end.Count))
+			return false
+		}
+		st.finish()
+		return false
+	case wire.OpErr:
+		// A terminal ERR ends the stream cleanly: the framing is
+		// intact, the connection stays usable.
+		st.err = fmt.Errorf("client: server error: %s", f.Payload)
+		st.finish()
+		return false
+	default:
+		st.fail(fmt.Errorf("client: unexpected opcode 0x%02x in stream", f.Op))
+		return false
+	}
+}
+
+// Message returns the message Next advanced to. Valid until the next
+// call to Next.
+func (st *Stream) Message() Message { return st.cur }
+
+// Err returns the terminal error, if any (nil after a complete stream).
+func (st *Stream) Err() error { return st.err }
+
+// Received returns how many messages and payload bytes the stream has
+// delivered so far.
+func (st *Stream) Received() (count, bytes uint64) { return st.count, st.bytes }
+
+// Close abandons the stream early: it sends CANCEL and drains frames
+// until the server's terminal frame, leaving the connection reusable.
+// Closing a finished stream is a no-op.
+func (st *Stream) Close() error {
+	if st.finished || st.err != nil {
+		return nil
+	}
+	st.c.mu.Lock()
+	err := st.c.writeFrame(wire.OpCancel, nil)
+	st.c.mu.Unlock()
+	if err != nil {
+		st.fail(err)
+		return err
+	}
+	for {
+		f, err := wire.ReadFrame(st.c.br, st.c.opts.MaxFrame)
+		if err != nil {
+			st.fail(err)
+			return err
+		}
+		switch f.Op {
+		case wire.OpEnd, wire.OpErr:
+			st.finish()
+			return nil
+		}
+	}
+}
+
+func (st *Stream) finish() {
+	st.finished = true
+	st.c.mu.Lock()
+	st.c.streaming = false
+	st.c.mu.Unlock()
+}
+
+// fail records a connection-level stream failure; the conn stays marked
+// streaming (its framing is undefined now), so follow-up requests error
+// rather than desync.
+func (st *Stream) fail(err error) {
+	st.err = err
+	st.finished = true
+}

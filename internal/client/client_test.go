@@ -1,0 +1,239 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// fakeServer accepts one connection and runs handler over it.
+func fakeServer(t *testing.T, handler func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialFailsAfterAttempts(t *testing.T) {
+	// Grab a port that refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = Dial(addr, Options{Attempts: 3, Backoff: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial to a closed port succeeded")
+	}
+	// 3 attempts with 1ms + 2ms backoff: fast, but it must have slept.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("Dial took %v; backoff not capped", d)
+	}
+}
+
+// TestQueryRetriesBusy: the client must resend a BUSY-rejected QUERY
+// with backoff and succeed when the server admits it.
+func TestQueryRetriesBusy(t *testing.T) {
+	var queries atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			f, err := wire.ReadFrame(nc, 0)
+			if err != nil {
+				return
+			}
+			if f.Op != wire.OpQuery {
+				wire.WriteFrame(nc, wire.OpErr, []byte("unexpected"))
+				return
+			}
+			if queries.Add(1) == 1 {
+				wire.WriteFrame(nc, wire.OpBusy, []byte("server query limit reached"))
+				continue
+			}
+			wire.WriteFrame(nc, wire.OpQueryHdr, wire.EncodeQueryHdr([]wire.ConnMeta{{Topic: "/t", Type: "ty"}}))
+			wire.WriteFrame(nc, wire.OpEnd, wire.EncodeEnd(wire.End{}))
+		}
+	})
+	cl, err := Dial(addr, Options{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Query("b", QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st.Next() {
+		t.Error("empty stream yielded a message")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := queries.Load(); n != 2 {
+		t.Errorf("server saw %d QUERY frames, want 2", n)
+	}
+}
+
+// TestQueryBusyExhausted: with Attempts 1 a BUSY reject surfaces as
+// ErrBusy without retrying.
+func TestQueryBusyExhausted(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			if _, err := wire.ReadFrame(nc, 0); err != nil {
+				return
+			}
+			wire.WriteFrame(nc, wire.OpBusy, []byte("no"))
+		}
+	})
+	cl, err := Dial(addr, Options{Attempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("b", QuerySpec{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	// The client must be reusable after a BUSY reject (framing intact):
+	// a non-query request still round-trips.
+	if _, err := cl.Query("b", QuerySpec{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second query err = %v, want ErrBusy", err)
+	}
+}
+
+// TestStreamGrantsCredit: with a window of 4 the client must grant
+// credit as it consumes, and the grants must let a strict server finish
+// a stream longer than the initial window.
+func TestStreamGrantsCredit(t *testing.T) {
+	const total = 20
+	var credits atomic.Int64
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		f, err := wire.ReadFrame(nc, 0)
+		if err != nil || f.Op != wire.OpQuery {
+			return
+		}
+		q, err := wire.DecodeQuery(f.Payload)
+		if err != nil || q.Window == 0 {
+			wire.WriteFrame(nc, wire.OpErr, []byte("no window"))
+			return
+		}
+		// Strict server: never exceeds the granted window.
+		go func() { // credit reader
+			for {
+				f, err := wire.ReadFrame(nc, 0)
+				if err != nil {
+					return
+				}
+				if f.Op == wire.OpCredit {
+					if n, err := wire.DecodeCredit(f.Payload); err == nil {
+						credits.Add(int64(n))
+					}
+				}
+			}
+		}()
+		wire.WriteFrame(nc, wire.OpQueryHdr, wire.EncodeQueryHdr([]wire.ConnMeta{{Topic: "/t", Type: "ty"}}))
+		sent := 0
+		for sent < total {
+			if int64(sent) >= int64(q.Window)+credits.Load() {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			wire.WriteFrame(nc, wire.OpMsg, wire.EncodeMsg(wire.Msg{Conn: 0, Data: []byte{byte(sent)}}))
+			sent++
+		}
+		wire.WriteFrame(nc, wire.OpEnd, wire.EncodeEnd(wire.End{Count: total, Bytes: total}))
+	})
+	cl, err := Dial(addr, Options{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Query("b", QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for st.Next() {
+		if got := st.Message().Data[0]; got != byte(n) {
+			t.Fatalf("message %d carries payload %d", n, got)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Errorf("received %d messages, want %d", n, total)
+	}
+	if credits.Load() < total-4 {
+		t.Errorf("client granted %d credits for a %d-message stream with window 4", credits.Load(), total)
+	}
+}
+
+// TestStreamCloseDrains: Close on a half-consumed stream cancels it
+// server-side and leaves the client usable for the next request.
+func TestStreamCloseDrains(t *testing.T) {
+	var canceled atomic.Bool
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			f, err := wire.ReadFrame(nc, 0)
+			if err != nil {
+				return
+			}
+			switch f.Op {
+			case wire.OpQuery:
+				wire.WriteFrame(nc, wire.OpQueryHdr, wire.EncodeQueryHdr([]wire.ConnMeta{{Topic: "/t", Type: "ty"}}))
+				for i := 0; i < 3; i++ {
+					wire.WriteFrame(nc, wire.OpMsg, wire.EncodeMsg(wire.Msg{Conn: 0, Data: []byte{byte(i)}}))
+				}
+			case wire.OpCancel:
+				canceled.Store(true)
+				wire.WriteFrame(nc, wire.OpErr, []byte("query canceled"))
+			case wire.OpPing:
+				wire.WriteFrame(nc, wire.OpPong, f.Payload)
+			}
+		}
+	})
+	cl, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Query("b", QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Next() {
+		t.Fatalf("no first message: %v", st.Err())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !canceled.Load() {
+		t.Error("server never saw a CANCEL frame")
+	}
+	if _, err := cl.Ping(); err != nil {
+		t.Fatalf("client unusable after Stream.Close: %v", err)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bagio"
 	"repro/internal/obs"
@@ -51,6 +53,12 @@ type QuerySpec struct {
 	Predicate func(MessageRef) bool
 }
 
+// cancelCheckBatch is how many messages a cancellable query reads
+// between context checks: frequent enough that an abandoned stream
+// stops reading from disk promptly, infrequent enough that the check
+// (one atomic add, one channel poll) stays off the per-message profile.
+const cancelCheckBatch = 64
+
 // Query reads the bag per spec, invoking fn for every delivered
 // message. The plan — and the obs op it is recorded under — follows
 // from the spec: a full-axis serial scan is core.read, a time-bounded
@@ -58,12 +66,32 @@ type QuerySpec struct {
 // per-topic scans), Workers != 0 is core.read_parallel, and
 // OrderTime is core.read_chrono.
 func (bag *Bag) Query(spec QuerySpec, fn func(MessageRef) error) error {
-	return bag.QuerySpan(obs.Span{}, spec, fn)
+	return bag.QuerySpanContext(context.Background(), obs.Span{}, spec, fn)
+}
+
+// QueryContext is Query bound to ctx: cancellation is checked once per
+// message batch, so a canceled query (a disconnected network client, an
+// expired deadline) stops reading from disk within cancelCheckBatch
+// messages and returns ctx.Err().
+func (bag *Bag) QueryContext(ctx context.Context, spec QuerySpec, fn func(MessageRef) error) error {
+	return bag.QuerySpanContext(ctx, obs.Span{}, spec, fn)
 }
 
 // QuerySpan is Query with its span nested under parent (e.g. a pool or
 // vfs operation wrapping the read). A zero parent traces it as a root.
 func (bag *Bag) QuerySpan(parent obs.Span, spec QuerySpec, fn func(MessageRef) error) error {
+	return bag.QuerySpanContext(context.Background(), parent, spec, fn)
+}
+
+// QuerySpanContext is Query with both a parent span and a context (see
+// QuerySpan and QueryContext).
+func (bag *Bag) QuerySpanContext(ctx context.Context, parent obs.Span, spec QuerySpec, fn func(MessageRef) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	end := spec.End
 	if end.IsZero() {
 		end = bagio.MaxTime
@@ -76,6 +104,24 @@ func (bag *Bag) QuerySpan(parent obs.Span, spec QuerySpec, fn func(MessageRef) e
 		fn = func(m MessageRef) error {
 			if !pred(m) {
 				return nil
+			}
+			return inner(m)
+		}
+	}
+	if done := ctx.Done(); done != nil {
+		// The check wraps outside the predicate so it counts messages
+		// read, not messages delivered: a query whose predicate rejects
+		// everything still notices cancellation. The counter is atomic
+		// because parallel plans deliver from several goroutines.
+		inner := fn
+		var n atomic.Int64
+		fn = func(m MessageRef) error {
+			if n.Add(1)%cancelCheckBatch == 1 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
 			}
 			return inner(m)
 		}

@@ -1,0 +1,20 @@
+package obs
+
+import "net/http"
+
+// SnapshotHandler serves the registry's current Snapshot as JSON —
+// the same document cmd/borabag's -metrics-out writes — so daemons
+// (cmd/borad's /metrics endpoint) can expose live metrics over HTTP
+// without a second encoding path. A nil registry serves the empty
+// snapshot.
+func SnapshotHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+}

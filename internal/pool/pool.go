@@ -15,6 +15,7 @@ package pool
 
 import (
 	"container/list"
+	"context"
 	"path/filepath"
 	"sync"
 
@@ -128,6 +129,25 @@ func (p *Pool) BlockCache() *BlockLRU { return p.blocks }
 // and plugs the pool's block cache under the container's data reads.
 func (p *Pool) Acquire(name string) (*core.Bag, error) {
 	return p.AcquireSpan(name, obs.Span{})
+}
+
+// AcquireContext is Acquire with an upfront cancellation check: a
+// request whose context died while it sat in admission control (or in
+// a client's retry loop) skips the cold open entirely instead of
+// warming the cache for a departed caller. A context that expires
+// mid-open does not abort the open — the handle is cached for the
+// next client and the error surfaces on the caller's next check.
+func (p *Pool) AcquireContext(ctx context.Context, name string) (*core.Bag, error) {
+	return p.AcquireContextSpan(ctx, name, obs.Span{})
+}
+
+// AcquireContextSpan is AcquireContext nested under parent (see
+// AcquireSpan).
+func (p *Pool) AcquireContextSpan(ctx context.Context, name string, parent obs.Span) (*core.Bag, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.AcquireSpan(name, parent)
 }
 
 // AcquireSpan is Acquire with the pool.acquire span nested under parent

@@ -1,0 +1,631 @@
+// Package server implements borad, BORA's network bag-serving daemon:
+// a TCP front end over the shared serving pool (internal/pool) speaking
+// the length-prefixed binary protocol of internal/server/wire. It is
+// the remote half of the paper's swarm-analysis scenario (Section IV-E)
+// — N analysis processes hammering shared bags — turned into a real
+// serving layer:
+//
+//   - Admission control. Concurrent queries are bounded globally
+//     (Options.MaxQueries) and to one stream per connection; rejected
+//     requests get a typed BUSY frame, never a queue without bound.
+//   - Flow control. A query carries the client's credit window; the
+//     server never has more MSG frames in flight than the client has
+//     acknowledged, so one slow reader holds buffers, not the daemon.
+//   - Cancellation. Client disconnect, a CANCEL frame, or drain
+//     deadline all cancel a context threaded down through
+//     core.Bag.QueryContext — an abandoned stream stops reading from
+//     disk within one message batch.
+//   - Graceful drain. Shutdown stops accepting, lets in-flight streams
+//     finish, and force-closes at the caller's deadline.
+//
+// Everything is observable under server.* metric names on the backend's
+// obs registry, and HTTPHandler exposes /metrics (the registry
+// snapshot JSON) and /healthz for sidecar scraping.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/server/wire"
+)
+
+// DefaultMaxQueries bounds globally concurrent query streams when
+// Options.MaxQueries is zero.
+const DefaultMaxQueries = 64
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options configure a Server.
+type Options struct {
+	// Pool serves bag opens when non-nil; nil falls back to a cold
+	// core.Open per query (the per-query-open baseline the
+	// remote-clients experiment measures against).
+	Pool *pool.Pool
+	// MaxQueries bounds concurrent query streams across all
+	// connections; zero selects DefaultMaxQueries.
+	MaxQueries int
+	// MaxFrame bounds inbound frame payloads; zero selects
+	// wire.DefaultMaxFrame.
+	MaxFrame uint32
+}
+
+// Server is a borad instance. Create with New, feed listeners to Serve,
+// stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	b        *core.BORA
+	pl       *pool.Pool
+	maxFrame uint32
+	sem      chan struct{} // global query admission tokens
+
+	queryOp   *obs.Op      // server.query: one span per QUERY stream
+	reqOp     *obs.Op      // server.request: non-query request frames
+	accepted  *obs.Counter // server.conns_accepted
+	busyC     *obs.Counter // server.query.busy
+	canceledC *obs.Counter // server.query.canceled
+	connsG    *obs.Gauge   // server.conns_active
+	queriesG  *obs.Gauge   // server.queries_active
+
+	served   atomic.Int64
+	draining atomic.Bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu          sync.Mutex
+	lns         map[net.Listener]struct{}
+	conns       map[*conn]struct{}
+	closed      bool
+	drained     chan struct{}
+	drainClosed bool
+}
+
+// New builds a server over backend b. Metrics register on b's obs
+// registry; opts.Pool, if set, must wrap the same backend.
+func New(b *core.BORA, opts Options) *Server {
+	if opts.MaxQueries <= 0 {
+		opts.MaxQueries = DefaultMaxQueries
+	}
+	if opts.MaxFrame == 0 {
+		opts.MaxFrame = wire.DefaultMaxFrame
+	}
+	reg := b.Obs()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		b:         b,
+		pl:        opts.Pool,
+		maxFrame:  opts.MaxFrame,
+		sem:       make(chan struct{}, opts.MaxQueries),
+		queryOp:   reg.Op("server.query"),
+		reqOp:     reg.Op("server.request"),
+		accepted:  reg.Counter("server.conns_accepted"),
+		busyC:     reg.Counter("server.query.busy"),
+		canceledC: reg.Counter("server.query.canceled"),
+		connsG:    reg.Gauge("server.conns_active"),
+		queriesG:  reg.Gauge("server.queries_active"),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		lns:       map[net.Listener]struct{}{},
+		conns:     map[*conn]struct{}{},
+		drained:   make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server shuts down; a drain-triggered stop returns nil. Serve may be
+// called on several listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining.Load() {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			s:  s,
+			nc: nc,
+			br: bufio.NewReaderSize(nc, 64<<10),
+			bw: bufio.NewWriterSize(nc, 64<<10),
+		}
+		c.ctx, c.cancelCtx = context.WithCancel(s.baseCtx)
+		s.mu.Lock()
+		if s.draining.Load() || s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Inc()
+		s.connsG.Add(1)
+		go c.serve()
+	}
+}
+
+// Shutdown drains the server: listeners close, idle connections drop,
+// in-flight query streams run to completion, and their connections
+// close behind them. It returns nil once every connection is gone, or
+// ctx's error after force-closing whatever remains at the deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining.Store(true)
+	for ln := range s.lns {
+		ln.Close()
+	}
+	var idle []*conn
+	for c := range s.conns {
+		c.mu.Lock()
+		if c.cur == nil {
+			idle = append(idle, c)
+		} else {
+			c.closeWhenDone = true
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, c := range idle {
+		c.close()
+	}
+	s.checkDrained()
+	select {
+	case <-s.drained:
+		s.finish()
+		return nil
+	case <-ctx.Done():
+		s.finish()
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: listeners close, in-flight
+// queries are canceled, connections drop.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.finish()
+	return nil
+}
+
+// finish force-closes every remaining connection and cancels the base
+// context (aborting any in-flight query).
+func (s *Server) finish() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// checkDrained closes the drained gate once a draining server has no
+// connections left.
+func (s *Server) checkDrained() {
+	s.mu.Lock()
+	if s.draining.Load() && len(s.conns) == 0 && !s.drainClosed {
+		s.drainClosed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a point-in-time summary of the server's serving state.
+func (s *Server) Stats() wire.ServerStats {
+	st := wire.ServerStats{
+		ConnsAccepted:   s.accepted.Load(),
+		ConnsActive:     s.connsG.Load(),
+		QueriesActive:   s.queriesG.Load(),
+		QueriesServed:   s.served.Load(),
+		QueriesBusy:     s.busyC.Load(),
+		QueriesCanceled: s.canceledC.Load(),
+		Draining:        s.draining.Load(),
+	}
+	if s.pl != nil {
+		ps := s.pl.Stats()
+		st.PoolHits = ps.HandleHits
+		st.PoolMisses = ps.HandleMisses
+		st.PoolResident = int64(ps.HandlesResident)
+	}
+	return st
+}
+
+// HTTPHandler returns the daemon's HTTP sidecar: /metrics serves the
+// backend registry's snapshot JSON (obs.SnapshotHandler), /healthz
+// answers 200 "ok" while serving and 503 "draining" once Shutdown has
+// begun, and /statz serves the wire.ServerStats JSON.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.SnapshotHandler(s.b.Obs()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	})
+	return mux
+}
+
+// open resolves a bag handle for one request: through the pool when the
+// server has one, cold otherwise.
+func (s *Server) open(ctx context.Context, name string, parent obs.Span) (*core.Bag, error) {
+	if s.pl != nil {
+		return s.pl.AcquireContextSpan(ctx, name, parent)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.b.OpenSpan(name, parent)
+}
+
+// conn is one accepted connection. The read loop (serve) owns the
+// reader; writes go through writeFrame's mutex because a streaming
+// query goroutine and the read loop (PONG, BUSY) write concurrently.
+type conn struct {
+	s  *Server
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	ctx       context.Context // conn-scoped; canceled on close
+	cancelCtx context.CancelFunc
+
+	mu            sync.Mutex
+	cur           *query // the in-flight query stream, if any
+	closeWhenDone bool   // drain: close as soon as cur finishes
+	closed        bool
+}
+
+// query is one in-flight QUERY stream's flow-control state.
+type query struct {
+	ctx       context.Context
+	cancel    context.CancelFunc
+	unlimited bool
+	avail     atomic.Int64
+	notify    chan struct{} // capacity 1; kicked on every credit grant
+}
+
+// serve is the connection read loop: it dispatches request frames and,
+// while a query streams, keeps consuming CREDIT/CANCEL frames. A read
+// error (client disconnect) closes the connection, which cancels the
+// conn context and thereby any in-flight query.
+func (c *conn) serve() {
+	defer c.close()
+	for {
+		f, err := wire.ReadFrame(c.br, c.s.maxFrame)
+		if err != nil {
+			return
+		}
+		switch f.Op {
+		case wire.OpPing:
+			sp := c.s.reqOp.Start()
+			err = c.writeFrame(wire.OpPong, f.Payload)
+			sp.EndErr(err)
+		case wire.OpOpen:
+			err = c.handleOpen(f.Payload)
+		case wire.OpInfo:
+			err = c.handleInfo(f.Payload)
+		case wire.OpStats:
+			err = c.handleStats()
+		case wire.OpQuery:
+			err = c.handleQuery(f.Payload)
+		case wire.OpCredit:
+			var n uint32
+			if n, err = wire.DecodeCredit(f.Payload); err == nil {
+				c.addCredit(n)
+			}
+		case wire.OpCancel:
+			c.cancelQuery()
+		default:
+			err = fmt.Errorf("unexpected opcode 0x%02x", f.Op)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (c *conn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancelCtx()
+	c.nc.Close()
+	s := c.s
+	s.mu.Lock()
+	_, tracked := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if tracked {
+		s.connsG.Add(-1)
+	}
+	s.checkDrained()
+}
+
+func (c *conn) writeFrame(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// writeErr reports a per-request failure without poisoning the
+// connection: the request fails, the conn lives on.
+func (c *conn) writeErr(err error) error {
+	return c.writeFrame(wire.OpErr, []byte(err.Error()))
+}
+
+func (c *conn) handleOpen(payload []byte) error {
+	sp := c.s.reqOp.Start()
+	name := string(payload)
+	if _, err := c.s.open(c.ctx, name, sp); err != nil {
+		sp.EndErr(err)
+		return c.writeErr(err)
+	}
+	sp.End()
+	return c.writeFrame(wire.OpOK, nil)
+}
+
+func (c *conn) handleInfo(payload []byte) error {
+	sp := c.s.reqOp.Start()
+	name := string(payload)
+	bi, err := c.bagInfo(name, sp)
+	if err != nil {
+		sp.EndErr(err)
+		return c.writeErr(err)
+	}
+	sp.End()
+	return c.writeFrame(wire.OpBagInfo, wire.EncodeBagInfo(bi))
+}
+
+func (c *conn) bagInfo(name string, sp obs.Span) (wire.BagInfo, error) {
+	bag, err := c.s.open(c.ctx, name, sp)
+	if err != nil {
+		return wire.BagInfo{}, err
+	}
+	conns, err := bag.Connections()
+	if err != nil {
+		return wire.BagInfo{}, err
+	}
+	bi := wire.BagInfo{Name: name, Topics: make([]wire.TopicInfo, 0, len(conns))}
+	for _, conn := range conns {
+		n, err := bag.MessageCount(conn.Topic)
+		if err != nil {
+			return wire.BagInfo{}, err
+		}
+		bi.Topics = append(bi.Topics, wire.TopicInfo{Topic: conn.Topic, Type: conn.Type, Count: uint64(n)})
+	}
+	return bi, nil
+}
+
+func (c *conn) handleStats() error {
+	data, err := json.Marshal(c.s.Stats())
+	if err != nil {
+		return c.writeErr(err)
+	}
+	return c.writeFrame(wire.OpOK, data)
+}
+
+// handleQuery admits (or BUSY-rejects) a query and starts its streaming
+// goroutine; the read loop goes back to consuming CREDIT/CANCEL frames.
+func (c *conn) handleQuery(payload []byte) error {
+	req, err := wire.DecodeQuery(payload)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	if c.s.draining.Load() {
+		return c.busy("server draining")
+	}
+	c.mu.Lock()
+	if c.cur != nil {
+		c.mu.Unlock()
+		return c.busy("connection already streaming a query")
+	}
+	select {
+	case c.s.sem <- struct{}{}:
+	default:
+		c.mu.Unlock()
+		return c.busy("server query limit reached")
+	}
+	qctx, qcancel := context.WithCancel(c.ctx)
+	q := &query{ctx: qctx, cancel: qcancel, notify: make(chan struct{}, 1)}
+	if req.Window == 0 {
+		q.unlimited = true
+	} else {
+		q.avail.Store(int64(req.Window))
+	}
+	c.cur = q
+	c.mu.Unlock()
+	c.s.queriesG.Add(1)
+	go c.runQuery(q, req)
+	return nil
+}
+
+func (c *conn) busy(reason string) error {
+	c.s.busyC.Inc()
+	return c.writeFrame(wire.OpBusy, []byte(reason))
+}
+
+// addCredit grants the in-flight query n more MSG frames.
+func (c *conn) addCredit(n uint32) {
+	c.mu.Lock()
+	q := c.cur
+	c.mu.Unlock()
+	if q == nil || q.unlimited {
+		return
+	}
+	q.avail.Add(int64(n))
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *conn) cancelQuery() {
+	c.mu.Lock()
+	q := c.cur
+	c.mu.Unlock()
+	if q != nil {
+		q.cancel()
+	}
+}
+
+// waitCredit consumes one send credit, blocking until the client grants
+// more or the query dies.
+func (q *query) waitCredit() error {
+	if q.unlimited {
+		return nil
+	}
+	for {
+		if q.avail.Add(-1) >= 0 {
+			return nil
+		}
+		q.avail.Add(1) // undo; we did not get a credit
+		select {
+		case <-q.ctx.Done():
+			return q.ctx.Err()
+		case <-q.notify:
+		}
+	}
+}
+
+// runQuery streams one QUERY: connection table, MSG frames under the
+// credit window, then END — or ERR, with a canceled query (client gone,
+// CANCEL frame, drain deadline) counted under server.query.canceled.
+func (c *conn) runQuery(q *query, req wire.QueryReq) {
+	s := c.s
+	sp := s.queryOp.Start()
+	defer func() {
+		<-s.sem
+		s.queriesG.Add(-1)
+		q.cancel()
+		c.mu.Lock()
+		c.cur = nil
+		closing := c.closeWhenDone
+		c.mu.Unlock()
+		if closing {
+			c.close()
+		}
+	}()
+	fail := func(err error) {
+		if q.ctx.Err() != nil {
+			s.canceledC.Inc()
+			// Best effort: the usual cause is a vanished peer.
+			c.writeFrame(wire.OpErr, []byte("query canceled"))
+		} else {
+			c.writeErr(err)
+		}
+		sp.EndErr(err)
+	}
+	bag, err := s.open(q.ctx, req.Name, sp)
+	if err != nil {
+		fail(err)
+		return
+	}
+	conns, err := bag.Connections()
+	if err != nil {
+		fail(err)
+		return
+	}
+	typeOf := make(map[string]string, len(conns))
+	for _, cn := range conns {
+		typeOf[cn.Topic] = cn.Type
+	}
+	topics := req.Topics
+	if len(topics) == 0 {
+		topics = bag.Topics()
+	}
+	metas := make([]wire.ConnMeta, len(topics))
+	idx := make(map[string]uint16, len(topics))
+	for i, t := range topics {
+		ty, ok := typeOf[t]
+		if !ok {
+			fail(fmt.Errorf("unknown topic %q", t))
+			return
+		}
+		metas[i] = wire.ConnMeta{Topic: t, Type: ty}
+		idx[t] = uint16(i)
+	}
+	if err := c.writeFrame(wire.OpQueryHdr, wire.EncodeQueryHdr(metas)); err != nil {
+		sp.EndErr(err)
+		return
+	}
+	spec := core.QuerySpec{Topics: req.Topics, Start: req.Start, End: req.End}
+	if req.Order == wire.OrderTime {
+		spec.Order = core.OrderTime
+	}
+	var count, bytes uint64
+	err = bag.QuerySpanContext(q.ctx, sp, spec, func(m core.MessageRef) error {
+		if err := q.waitCredit(); err != nil {
+			return err
+		}
+		if err := c.writeFrame(wire.OpMsg, wire.EncodeMsg(wire.Msg{
+			Conn: idx[m.Conn.Topic], Time: m.Time, Data: m.Data,
+		})); err != nil {
+			return err
+		}
+		count++
+		bytes += uint64(len(m.Data))
+		return nil
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := c.writeFrame(wire.OpEnd, wire.EncodeEnd(wire.End{Count: count, Bytes: bytes})); err != nil {
+		sp.EndErr(err)
+		return
+	}
+	s.served.Add(1)
+	sp.EndBytes(int64(bytes))
+}

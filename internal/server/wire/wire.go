@@ -1,0 +1,444 @@
+// Package wire defines borad's wire protocol: length-prefixed binary
+// frames over a byte stream. Every frame is a 5-byte header — a
+// big-endian uint32 payload length plus one opcode byte — followed by
+// the payload. The protocol is strictly client-driven: the client sends
+// one request frame and reads response frames until a terminal one
+// (PONG, OK, BAGINFO, END, ERR, BUSY); only QUERY produces a stream
+// (QUERYHDR, then MSG frames, then END), during which the client may
+// send CREDIT (flow control) and CANCEL frames.
+//
+// All decoders treat their input as hostile: lengths are bounds-checked
+// against the actual payload, element counts never pre-allocate more
+// than a small constant, and ReadFrame grows its buffer only as bytes
+// actually arrive, so a lying length prefix cannot force a large
+// allocation.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bagio"
+)
+
+// HeaderSize is the fixed frame header width: uint32 payload length +
+// opcode byte.
+const HeaderSize = 5
+
+// DefaultMaxFrame bounds a frame's payload length unless the caller
+// picks its own limit. Message payloads dominate frame sizes; 16 MiB
+// clears any plausible robotic message (the paper's largest topic is
+// ~1.5 MiB point clouds) with headroom.
+const DefaultMaxFrame = 16 << 20
+
+// Request opcodes (client → server).
+const (
+	OpPing   byte = 0x01 // payload echoed back in PONG
+	OpOpen   byte = 0x02 // bag name; warms the serving pool → OK
+	OpInfo   byte = 0x03 // bag name → BAGINFO
+	OpQuery  byte = 0x04 // QueryReq → QUERYHDR, MSG..., END
+	OpStats  byte = 0x05 // empty → OK with ServerStats JSON
+	OpCredit byte = 0x06 // uint32 grant (flow control during a stream)
+	OpCancel byte = 0x07 // empty; abort the in-flight query
+)
+
+// Response opcodes (server → client).
+const (
+	OpPong     byte = 0x81 // PING echo
+	OpOK       byte = 0x82 // success; payload depends on the request
+	OpErr      byte = 0x83 // payload is a human-readable error string
+	OpBusy     byte = 0x84 // typed admission reject; payload is the reason
+	OpBagInfo  byte = 0x85 // BagInfo
+	OpQueryHdr byte = 0x86 // []ConnMeta: the stream's connection table
+	OpMsg      byte = 0x87 // Msg: one streamed message
+	OpEnd      byte = 0x88 // End: stream summary
+)
+
+// KnownOp reports whether op is a defined opcode.
+func KnownOp(op byte) bool {
+	switch op {
+	case OpPing, OpOpen, OpInfo, OpQuery, OpStats, OpCredit, OpCancel,
+		OpPong, OpOK, OpErr, OpBusy, OpBagInfo, OpQueryHdr, OpMsg, OpEnd:
+		return true
+	}
+	return false
+}
+
+// Typed frame-level errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrUnknownOp     = errors.New("wire: unknown opcode")
+	ErrTruncated     = errors.New("wire: truncated payload")
+)
+
+// Frame is one decoded frame.
+type Frame struct {
+	Op      byte
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, rejecting payloads longer than max
+// (0 selects DefaultMaxFrame) and unknown opcodes. The payload buffer
+// grows only as bytes arrive, so an adversarial length prefix costs the
+// sender the bytes, not the receiver the memory.
+func ReadFrame(r io.Reader, max uint32) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	op := hdr[4]
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	if n > max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if !KnownOp(op) {
+		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownOp, op)
+	}
+	if n == 0 {
+		return Frame{Op: op}, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Op: op, Payload: buf.Bytes()}, nil
+}
+
+// DecodeFrame decodes one frame from a byte slice (ReadFrame over a
+// reader); the fuzz target drives the decode surface through it.
+func DecodeFrame(data []byte, max uint32) (Frame, error) {
+	return ReadFrame(bytes.NewReader(data), max)
+}
+
+// enc builds a payload. The zero value is ready to use.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+
+// str appends a uint16-length-prefixed string, truncating at 64 KiB-1
+// (no protocol string — topic names, bag names, reasons — approaches
+// the limit; truncation beats an error path nothing can hit).
+func (e *enc) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// bytes32 appends a uint32-length-prefixed byte string.
+func (e *enc) bytes32(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) time(t bagio.Time) {
+	e.u32(t.Sec)
+	e.u32(t.NSec)
+}
+
+// dec consumes a payload with sticky bounds-check failure.
+type dec struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (d *dec) take(n int) []byte {
+	if d.fail || n < 0 || len(d.b)-d.off < n {
+		d.fail = true
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) u8() byte {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (d *dec) str() string   { return string(d.take(int(d.u16()))) }
+func (d *dec) bytes() []byte { return d.take(int(d.u32())) }
+
+func (d *dec) time() bagio.Time {
+	sec := d.u32()
+	nsec := d.u32()
+	return bagio.Time{Sec: sec, NSec: nsec}
+}
+
+func (d *dec) err() error {
+	if d.fail {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// preallocCap caps count-driven slice pre-allocation: a lying element
+// count can claim 65535 entries in a 10-byte payload, so decoders
+// reserve at most this many up front and append beyond it.
+const preallocCap = 256
+
+func capCount(n int) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return n
+}
+
+// Order selects a query's cross-topic delivery order on the wire.
+const (
+	OrderTopic uint8 = 0 // grouped by topic (core.OrderTopic)
+	OrderTime  uint8 = 1 // global timestamp order (core.OrderTime)
+)
+
+// QueryReq is the QUERY request: a remote core.QuerySpec plus the
+// client's initial flow-control window.
+type QueryReq struct {
+	Name   string
+	Topics []string
+	Start  bagio.Time
+	End    bagio.Time
+	Order  uint8
+	// Window is the initial credit: the server sends at most this many
+	// MSG frames beyond what the client has acknowledged with CREDIT
+	// grants. Zero disables flow control (unbounded).
+	Window uint32
+}
+
+// EncodeQuery renders a QUERY payload.
+func EncodeQuery(q QueryReq) []byte {
+	var e enc
+	e.str(q.Name)
+	e.u16(uint16(len(q.Topics)))
+	for _, t := range q.Topics {
+		e.str(t)
+	}
+	e.time(q.Start)
+	e.time(q.End)
+	e.u8(q.Order)
+	e.u32(q.Window)
+	return e.b
+}
+
+// DecodeQuery parses a QUERY payload.
+func DecodeQuery(p []byte) (QueryReq, error) {
+	d := dec{b: p}
+	q := QueryReq{Name: d.str()}
+	n := int(d.u16())
+	q.Topics = make([]string, 0, capCount(n))
+	for i := 0; i < n && !d.fail; i++ {
+		q.Topics = append(q.Topics, d.str())
+	}
+	if len(q.Topics) == 0 {
+		q.Topics = nil
+	}
+	q.Start = d.time()
+	q.End = d.time()
+	q.Order = d.u8()
+	q.Window = d.u32()
+	if q.Order > OrderTime {
+		return QueryReq{}, fmt.Errorf("wire: unknown order %d", q.Order)
+	}
+	return q, d.err()
+}
+
+// ConnMeta is one entry of a stream's connection table: MSG frames
+// refer to topics by index into the QUERYHDR's []ConnMeta.
+type ConnMeta struct {
+	Topic string
+	Type  string
+}
+
+// EncodeQueryHdr renders a QUERYHDR payload.
+func EncodeQueryHdr(conns []ConnMeta) []byte {
+	var e enc
+	e.u16(uint16(len(conns)))
+	for _, c := range conns {
+		e.str(c.Topic)
+		e.str(c.Type)
+	}
+	return e.b
+}
+
+// DecodeQueryHdr parses a QUERYHDR payload.
+func DecodeQueryHdr(p []byte) ([]ConnMeta, error) {
+	d := dec{b: p}
+	n := int(d.u16())
+	conns := make([]ConnMeta, 0, capCount(n))
+	for i := 0; i < n && !d.fail; i++ {
+		conns = append(conns, ConnMeta{Topic: d.str(), Type: d.str()})
+	}
+	return conns, d.err()
+}
+
+// Msg is one streamed message: a connection-table index, the timestamp,
+// and the raw serialized message bytes.
+type Msg struct {
+	Conn uint16
+	Time bagio.Time
+	Data []byte
+}
+
+// EncodeMsg renders a MSG payload.
+func EncodeMsg(m Msg) []byte {
+	e := enc{b: make([]byte, 0, 2+8+4+len(m.Data))}
+	e.u16(m.Conn)
+	e.time(m.Time)
+	e.bytes32(m.Data)
+	return e.b
+}
+
+// DecodeMsg parses a MSG payload. Data aliases p.
+func DecodeMsg(p []byte) (Msg, error) {
+	d := dec{b: p}
+	m := Msg{Conn: d.u16()}
+	m.Time = d.time()
+	m.Data = d.bytes()
+	return m, d.err()
+}
+
+// End is the stream summary terminating a successful QUERY.
+type End struct {
+	Count uint64 // messages streamed
+	Bytes uint64 // payload bytes streamed
+}
+
+// EncodeEnd renders an END payload.
+func EncodeEnd(eo End) []byte {
+	var e enc
+	e.u64(eo.Count)
+	e.u64(eo.Bytes)
+	return e.b
+}
+
+// DecodeEnd parses an END payload.
+func DecodeEnd(p []byte) (End, error) {
+	d := dec{b: p}
+	eo := End{Count: d.u64(), Bytes: d.u64()}
+	return eo, d.err()
+}
+
+// TopicInfo is one topic's metadata in a BAGINFO reply.
+type TopicInfo struct {
+	Topic string
+	Type  string
+	Count uint64
+}
+
+// BagInfo is the INFO reply: the bag's topics with message counts.
+type BagInfo struct {
+	Name   string
+	Topics []TopicInfo
+}
+
+// EncodeBagInfo renders a BAGINFO payload.
+func EncodeBagInfo(bi BagInfo) []byte {
+	var e enc
+	e.str(bi.Name)
+	e.u32(uint32(len(bi.Topics)))
+	for _, t := range bi.Topics {
+		e.str(t.Topic)
+		e.str(t.Type)
+		e.u64(t.Count)
+	}
+	return e.b
+}
+
+// DecodeBagInfo parses a BAGINFO payload.
+func DecodeBagInfo(p []byte) (BagInfo, error) {
+	d := dec{b: p}
+	bi := BagInfo{Name: d.str()}
+	n := int(d.u32())
+	bi.Topics = make([]TopicInfo, 0, capCount(n))
+	for i := 0; i < n && !d.fail; i++ {
+		bi.Topics = append(bi.Topics, TopicInfo{Topic: d.str(), Type: d.str(), Count: d.u64()})
+	}
+	return bi, d.err()
+}
+
+// EncodeCredit renders a CREDIT payload granting n more MSG frames.
+func EncodeCredit(n uint32) []byte {
+	var e enc
+	e.u32(n)
+	return e.b
+}
+
+// DecodeCredit parses a CREDIT payload.
+func DecodeCredit(p []byte) (uint32, error) {
+	d := dec{b: p}
+	n := d.u32()
+	return n, d.err()
+}
+
+// ServerStats is the STATS reply, carried as JSON in an OK frame (the
+// same shape borad's /metrics sidecar embeds) so it can grow fields
+// without a wire-format revision.
+type ServerStats struct {
+	ConnsAccepted   int64 `json:"conns_accepted"`
+	ConnsActive     int64 `json:"conns_active"`
+	QueriesActive   int64 `json:"queries_active"`
+	QueriesServed   int64 `json:"queries_served"`
+	QueriesBusy     int64 `json:"queries_busy"`
+	QueriesCanceled int64 `json:"queries_canceled"`
+	Draining        bool  `json:"draining"`
+	PoolHits        int64 `json:"pool_hits,omitempty"`
+	PoolMisses      int64 `json:"pool_misses,omitempty"`
+	PoolResident    int64 `json:"pool_resident,omitempty"`
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/bagio"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := []struct {
+		op byte
+		p  []byte
+	}{
+		{OpPing, []byte("nonce")},
+		{OpCancel, nil},
+		{OpMsg, bytes.Repeat([]byte{0xab}, 100_000)},
+	}
+	for _, f := range payloads {
+		if err := WriteFrame(&buf, f.op, f.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		f, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Op != want.op || !bytes.Equal(f.Payload, want.p) {
+			t.Errorf("frame 0x%02x: payload mismatch (%d bytes vs %d)", f.Op, len(f.Payload), len(want.p))
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Errorf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejects(t *testing.T) {
+	frame := func(n uint32, op byte, body []byte) []byte {
+		var hdr [HeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[:4], n)
+		hdr[4] = op
+		return append(hdr[:], body...)
+	}
+	t.Run("oversized", func(t *testing.T) {
+		_, err := DecodeFrame(frame(1<<30, OpMsg, nil), 1<<20)
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("unknown opcode", func(t *testing.T) {
+		_, err := DecodeFrame(frame(0, 0x7f, nil), 0)
+		if !errors.Is(err, ErrUnknownOp) {
+			t.Errorf("err = %v, want ErrUnknownOp", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		_, err := DecodeFrame(frame(100, OpPing, []byte("short")), 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Errorf("err = %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		_, err := DecodeFrame([]byte{0, 0}, 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Errorf("err = %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	want := QueryReq{
+		Name:   "robot1",
+		Topics: []string{"/imu", "/camera/rgb/image_color"},
+		Start:  bagio.Time{Sec: 100, NSec: 5},
+		End:    bagio.Time{Sec: 200, NSec: 999999999},
+		Order:  OrderTime,
+		Window: 64,
+	}
+	got, err := DecodeQuery(EncodeQuery(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	// Empty topic list decodes to nil (= all topics).
+	got, err = DecodeQuery(EncodeQuery(QueryReq{Name: "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topics != nil {
+		t.Errorf("empty topics decoded to %v, want nil", got.Topics)
+	}
+	if _, err := DecodeQuery([]byte{0, 1}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated query: err = %v, want ErrTruncated", err)
+	}
+	bad := EncodeQuery(QueryReq{Name: "b", Order: 9})
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	conns := []ConnMeta{{Topic: "/imu", Type: "sensor_msgs/Imu"}, {Topic: "/tf", Type: "tf/tfMessage"}}
+	gotConns, err := DecodeQueryHdr(EncodeQueryHdr(conns))
+	if err != nil || !reflect.DeepEqual(gotConns, conns) {
+		t.Errorf("queryhdr: got %+v err %v", gotConns, err)
+	}
+
+	msg := Msg{Conn: 1, Time: bagio.Time{Sec: 7, NSec: 8}, Data: []byte("payload bytes")}
+	gotMsg, err := DecodeMsg(EncodeMsg(msg))
+	if err != nil || !reflect.DeepEqual(gotMsg, msg) {
+		t.Errorf("msg: got %+v err %v", gotMsg, err)
+	}
+
+	end := End{Count: 12345, Bytes: 1 << 40}
+	gotEnd, err := DecodeEnd(EncodeEnd(end))
+	if err != nil || gotEnd != end {
+		t.Errorf("end: got %+v err %v", gotEnd, err)
+	}
+
+	bi := BagInfo{Name: "robot1", Topics: []TopicInfo{{Topic: "/imu", Type: "sensor_msgs/Imu", Count: 99}}}
+	gotBi, err := DecodeBagInfo(EncodeBagInfo(bi))
+	if err != nil || !reflect.DeepEqual(gotBi, bi) {
+		t.Errorf("baginfo: got %+v err %v", gotBi, err)
+	}
+
+	n, err := DecodeCredit(EncodeCredit(42))
+	if err != nil || n != 42 {
+		t.Errorf("credit: got %d err %v", n, err)
+	}
+}
+
+// TestLyingCountsStayBounded: element counts larger than the payload
+// can possibly hold must fail with ErrTruncated, never allocate
+// count-sized slices.
+func TestLyingCountsStayBounded(t *testing.T) {
+	var e enc
+	e.str("bag")
+	e.u16(0xffff) // claims 65535 topics in an empty payload
+	if _, err := DecodeQuery(e.b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("query: err = %v, want ErrTruncated", err)
+	}
+	var e2 enc
+	e2.u16(0xffff)
+	if _, err := DecodeQueryHdr(e2.b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("queryhdr: err = %v, want ErrTruncated", err)
+	}
+	var e3 enc
+	e3.str("bag")
+	e3.u32(1 << 31)
+	if _, err := DecodeBagInfo(e3.b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("baginfo: err = %v, want ErrTruncated", err)
+	}
+}
