@@ -107,7 +107,8 @@ type Client struct {
 	mu        sync.Mutex
 	nc        net.Conn
 	br        *bufio.Reader
-	bw        *bufio.Writer
+	enc       wire.Encoder // reusable frame-assembly buffer (one Write per frame)
+	rbuf      []byte       // reusable inbound payload buffer (wire.ReadFrameInto)
 	streaming bool
 }
 
@@ -127,7 +128,6 @@ func Dial(addr string, opts Options) (*Client, error) {
 				opts: opts,
 				nc:   nc,
 				br:   bufio.NewReaderSize(nc, 64<<10),
-				bw:   bufio.NewWriterSize(nc, 64<<10),
 			}, nil
 		}
 		lastErr = err
@@ -149,15 +149,21 @@ func (c *Client) Close() error {
 	return err
 }
 
-// writeFrame sends one frame; callers hold c.mu.
+// writeFrame sends one frame through the connection's reusable encode
+// buffer — one Write call, no bufio copy (every frame was flushed
+// immediately anyway); callers hold c.mu.
 func (c *Client) writeFrame(op byte, payload []byte) error {
 	if c.nc == nil {
 		return net.ErrClosed
 	}
-	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.enc.WriteFrame(c.nc, op, payload)
+}
+
+// readFrame reads one frame into the client's reusable payload buffer.
+// The frame's Payload is valid only until the next readFrame; every
+// caller decodes (copying what it keeps) before reading again.
+func (c *Client) readFrame() (wire.Frame, error) {
+	return wire.ReadFrameInto(c.br, c.opts.MaxFrame, &c.rbuf)
 }
 
 // roundTrip sends one request and reads its single response frame,
@@ -166,7 +172,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (wire.Frame, error) {
 	if err := c.writeFrame(op, payload); err != nil {
 		return wire.Frame{}, err
 	}
-	f, err := wire.ReadFrame(c.br, c.opts.MaxFrame)
+	f, err := c.readFrame()
 	if err != nil {
 		return wire.Frame{}, err
 	}
@@ -323,13 +329,26 @@ func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
 	return nil, lastErr
 }
 
-// Message is one streamed query result. Data is owned by the caller
-// (each frame allocates fresh).
+// Message is one streamed query result. Data is borrowed from the
+// stream's reusable frame buffer: it is valid only until the next call
+// to Next or Close and must not be mutated — the network mirror of
+// core.MessageRef's ownership contract. Call Copy or Retain to keep
+// the bytes.
 type Message struct {
 	Topic string
 	Type  string
 	Time  bagio.Time
 	Data  []byte
+}
+
+// Copy returns an owned copy of the message payload.
+func (m Message) Copy() []byte { return append([]byte(nil), m.Data...) }
+
+// Retain returns the Message with Data replaced by an owned copy,
+// safe to hold past the next Next.
+func (m Message) Retain() Message {
+	m.Data = m.Copy()
+	return m
 }
 
 // Stream iterates a query's results:
@@ -374,7 +393,7 @@ func (st *Stream) Next() bool {
 			st.unacked = 0
 		}
 	}
-	f, err := wire.ReadFrame(c.br, c.opts.MaxFrame)
+	f, err := c.readFrame()
 	if err != nil {
 		st.fail(err)
 		return false
@@ -420,8 +439,9 @@ func (st *Stream) Next() bool {
 	}
 }
 
-// Message returns the message Next advanced to. Valid until the next
-// call to Next.
+// Message returns the message Next advanced to. The Message (and in
+// particular its borrowed Data) is valid until the next call to Next
+// or Close; see the Message ownership contract.
 func (st *Stream) Message() Message { return st.cur }
 
 // Err returns the terminal error, if any (nil after a complete stream).
@@ -446,7 +466,7 @@ func (st *Stream) Close() error {
 		return err
 	}
 	for {
-		f, err := wire.ReadFrame(st.c.br, st.c.opts.MaxFrame)
+		f, err := st.c.readFrame()
 		if err != nil {
 			st.fail(err)
 			return err

@@ -30,6 +30,22 @@ type BlockCache interface {
 	Put(key BlockKey, data []byte)
 }
 
+// ZeroCopyReader is optionally implemented by DataReaders that can
+// serve a read as a direct slice of an internal buffer instead of
+// copying into the caller's. ReadSlice returns the bytes of
+// [off, off+n) and true when the whole span lies in one internal
+// buffer, or (nil, false) to make the caller fall back to ReadAt.
+//
+// The returned slice is READ-ONLY: with the block cache behind it, the
+// same bytes are shared by every concurrent reader of the topic. It
+// remains valid as long as the caller references it (cache eviction
+// only drops the cache's own reference), but hot paths should treat it
+// as valid only until their next read, matching core.MessageRef's
+// callback-scoped contract.
+type ZeroCopyReader interface {
+	ReadSlice(off int64, n int) ([]byte, bool)
+}
+
 // cachedReader adapts a topic DataReader to serve through a BlockCache:
 // ReadAt decomposes the request into fixed-size blocks, copies hits out
 // of the cache and fills misses from the underlying reader (recording
@@ -68,6 +84,27 @@ func (r *cachedReader) ReadAt(p []byte, off int64) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// ReadSlice serves a read that fits inside one cache block as a direct
+// slice of the cached buffer — the zero-copy path of cache-hit message
+// reads. Reads spanning a block boundary report false and take the
+// copying ReadAt path instead.
+func (r *cachedReader) ReadSlice(off int64, n int) ([]byte, bool) {
+	if off < 0 || n < 0 {
+		return nil, false
+	}
+	bs := r.cache.BlockSize()
+	block := off / bs
+	within := off - block*bs
+	if within+int64(n) > bs {
+		return nil, false // spans blocks; fall back to ReadAt
+	}
+	data, err := r.block(block, bs)
+	if err != nil || within+int64(n) > int64(len(data)) {
+		return nil, false // error or short final block: let ReadAt report it
+	}
+	return data[within : within+int64(n) : within+int64(n)], true
 }
 
 // block returns the cached block's bytes, filling the cache on a miss.

@@ -158,6 +158,9 @@ type Topic struct {
 	mu      sync.Mutex
 	entries []IndexEntry
 	loaded  bool // entries read from the index file
+
+	trLoaded       bool // memoized TimeRange below is valid
+	trStart, trEnd bagio.Time
 }
 
 // Create initializes an empty container at root (which must not exist or
@@ -577,10 +580,9 @@ func (t *Topic) OpenData() (DataReader, error) {
 	return &cachedReader{inner: r, cache: t.cache, path: t.dir, gen: t.gen, fillOp: t.blockFillOp}, nil
 }
 
-// ReadMessage reads the payload for one index entry. It records nothing
-// itself — even an untimed atomic add per message is measurable against
-// a page-cache hit — so streaming callers batch their totals into
-// NoteReads when a read loop finishes.
+// ReadMessage reads the payload for one index entry into a freshly
+// allocated buffer the caller owns. Streaming read loops should prefer
+// ReadMessageInto, which amortizes the allocation across messages.
 func (t *Topic) ReadMessage(r io.ReaderAt, e IndexEntry) ([]byte, error) {
 	buf := make([]byte, e.Length)
 	if _, err := r.ReadAt(buf, int64(e.PhysicalOffset)); err != nil {
@@ -589,11 +591,60 @@ func (t *Topic) ReadMessage(r io.ReaderAt, e IndexEntry) ([]byte, error) {
 	return buf, nil
 }
 
-// TimeRange returns the first and last message timestamps of the topic.
+// ReadMessageInto reads the payload for one index entry without
+// allocating per message. When r can serve the read as a direct slice
+// of an internal buffer (a block-cache hit, see ZeroCopyReader) that
+// slice is returned and scratch is untouched; otherwise the payload is
+// read into *scratch, growing it once to the topic's largest message.
+//
+// Either way the returned bytes are READ-ONLY and only valid until the
+// next call with the same reader or scratch — exactly the lifetime
+// core.MessageRef hands to query callbacks. Callers that keep the
+// payload must copy it. It records nothing itself — even an untimed
+// atomic add per message is measurable against a page-cache hit — so
+// streaming callers batch their totals into NoteReads when a read loop
+// finishes.
+func (t *Topic) ReadMessageInto(r io.ReaderAt, e IndexEntry, scratch *[]byte) ([]byte, error) {
+	if zc, ok := r.(ZeroCopyReader); ok {
+		if data, ok := zc.ReadSlice(int64(e.PhysicalOffset), int(e.Length)); ok {
+			return data, nil
+		}
+	}
+	n := int(e.Length)
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n, growCap(n))
+	}
+	buf := (*scratch)[:n]
+	if _, err := r.ReadAt(buf, int64(e.PhysicalOffset)); err != nil {
+		return nil, fmt.Errorf("container: read message of %q at %d: %w", t.topic, e.PhysicalOffset, err)
+	}
+	return buf, nil
+}
+
+// growCap rounds a scratch-buffer size up so a stream of slightly
+// growing messages settles after a few reallocations instead of
+// reallocating per message.
+func growCap(n int) int {
+	const min = 4 << 10
+	c := min
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// TimeRange returns the first and last message timestamps of the topic,
+// scanning the index once per open handle and serving from memory
+// afterwards (repeated windowed queries consult it per call).
 func (t *Topic) TimeRange() (start, end bagio.Time, err error) {
 	es, err := t.Entries()
 	if err != nil || len(es) == 0 {
 		return bagio.Time{}, bagio.Time{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.trLoaded {
+		return t.trStart, t.trEnd, nil
 	}
 	start, end = es[0].Time, es[0].Time
 	for _, e := range es[1:] {
@@ -604,5 +655,6 @@ func (t *Topic) TimeRange() (start, end bagio.Time, err error) {
 			end = e.Time
 		}
 	}
+	t.trStart, t.trEnd, t.trLoaded = start, end, true
 	return start, end, nil
 }

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/bagio"
+	"repro/internal/container"
+	"repro/internal/raceenabled"
+)
+
+// testBlockCache is a minimal unbounded container.BlockCache so the
+// alloc tests can exercise the zero-copy cache-hit path without
+// importing internal/pool.
+type testBlockCache struct {
+	bs int64
+	mu sync.Mutex
+	m  map[container.BlockKey][]byte
+}
+
+func newTestBlockCache(bs int64) *testBlockCache {
+	return &testBlockCache{bs: bs, m: map[container.BlockKey][]byte{}}
+}
+
+func (c *testBlockCache) BlockSize() int64 { return c.bs }
+
+func (c *testBlockCache) Get(key container.BlockKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.m[key]
+	return data, ok
+}
+
+func (c *testBlockCache) Put(key container.BlockKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = data
+}
+
+// cachedBag builds a bag whose container serves reads through a warm
+// block cache — the steady-state serving configuration the allocation
+// budgets are defined against.
+func cachedBag(t *testing.T, seconds int) (*Bag, int) {
+	t.Helper()
+	b := newBORA(t)
+	src := makeSourceBag(t, t.TempDir(), seconds)
+	bag, _, err := b.Duplicate(src, "bag1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag.Container().SetBlockCache(newTestBlockCache(1 << 20))
+	n := 0
+	// Warm: loads entries, time indexes, and fills the block cache.
+	if err := bag.Query(QuerySpec{}, func(m MessageRef) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return bag, n
+}
+
+// allocSink keeps the alloc-budget callbacks from being optimized away.
+var allocSink int
+
+// checkAllocBudget runs one full query and requires its allocations to
+// be per-query overhead only — amortized zero per message. The strict
+// assertion is skipped under the race detector (whose instrumentation
+// allocates), but the query still runs.
+func checkAllocBudget(t *testing.T, name string, msgs int, query func() error) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := query(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perMsg := allocs / float64(msgs)
+	t.Logf("%s: %.0f allocs per query over %d messages (%.3f/message)", name, allocs, msgs, perMsg)
+	if raceenabled.Enabled {
+		t.Log("race detector enabled: skipping strict alloc assertion")
+		return
+	}
+	if perMsg >= 0.5 {
+		t.Errorf("%s: %.3f allocs/message; the steady-state hot loop must be allocation-free per message", name, perMsg)
+	}
+}
+
+// TestAllocBudgetSerialQuery pins the serial query hot loop (Fig 7
+// full scan and the Fig 8 time-bounded scan, cache-hit reads) at zero
+// steady-state allocations per message.
+func TestAllocBudgetSerialQuery(t *testing.T) {
+	bag, msgs := cachedBag(t, 20)
+	checkAllocBudget(t, "serial full scan", msgs, func() error {
+		return bag.Query(QuerySpec{}, func(m MessageRef) error {
+			allocSink += len(m.Data)
+			return nil
+		})
+	})
+	start := bagio.TimeFromNanos(1_000_000_000_000_000_000 + 2e9)
+	end := bagio.TimeFromNanos(1_000_000_000_000_000_000 + 12e9)
+	bounded := 0
+	if err := bag.Query(QuerySpec{Start: start, End: end}, func(m MessageRef) error { bounded++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	checkAllocBudget(t, "serial time-bounded scan", bounded, func() error {
+		return bag.Query(QuerySpec{Start: start, End: end}, func(m MessageRef) error {
+			allocSink += len(m.Data)
+			return nil
+		})
+	})
+}
+
+// TestAllocBudgetChronoQuery pins the chronological k-way merge at zero
+// steady-state allocations per message (the per-topic filtered entry
+// slices are per-query, not per-message).
+func TestAllocBudgetChronoQuery(t *testing.T) {
+	bag, msgs := cachedBag(t, 20)
+	checkAllocBudget(t, "chrono merge", msgs, func() error {
+		return bag.Query(QuerySpec{Order: OrderTime}, func(m MessageRef) error {
+			allocSink += len(m.Data)
+			return nil
+		})
+	})
+}
+
+// rec is one collected message for equivalence comparison.
+type rec struct {
+	topic string
+	time  bagio.Time
+	data  []byte
+}
+
+func recKey(r rec) string {
+	return fmt.Sprintf("%s/%d.%09d/%x", r.topic, r.time.Sec, r.time.NSec, r.data)
+}
+
+// groundTruth reads every message of every topic through the owning
+// ReadMessage path (fresh allocation per message, no cache) — the
+// reference the borrowed query plans must match byte for byte.
+func groundTruth(t *testing.T, bag *Bag) []rec {
+	t.Helper()
+	var out []rec
+	for _, name := range bag.Topics() {
+		topic, err := bag.Container().Topic(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := topic.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := topic.OpenData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := topic.ReadMessage(df, e)
+			if err != nil {
+				df.Close()
+				t.Fatal(err)
+			}
+			out = append(out, rec{topic: name, time: e.Time, data: data})
+		}
+		df.Close()
+	}
+	return out
+}
+
+func sortRecs(recs []rec) {
+	sort.Slice(recs, func(i, j int) bool { return recKey(recs[i]) < recKey(recs[j]) })
+}
+
+func compareRecs(t *testing.T, name string, got, want []rec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d messages, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].topic != want[i].topic || got[i].time != want[i].time || !bytes.Equal(got[i].data, want[i].data) {
+			t.Fatalf("%s: message %d differs: %s vs %s", name, i, recKey(got[i]), recKey(want[i]))
+		}
+	}
+}
+
+// TestBorrowEquivalence: every query plan's borrowed payloads are
+// byte-identical to the copying ReadMessage reference — with the block
+// cache on (zero-copy slices) and across serial, chrono, and parallel
+// plans. Runs under -race in CI.
+func TestBorrowEquivalence(t *testing.T) {
+	bag, _ := cachedBag(t, 5)
+	want := groundTruth(t, bag)
+	collect := func(spec QuerySpec) []rec {
+		var mu sync.Mutex // parallel plans deliver from several goroutines
+		var got []rec
+		err := bag.Query(spec, func(m MessageRef) error {
+			r := rec{topic: m.Conn.Topic, time: m.Time, data: m.Copy()}
+			mu.Lock()
+			got = append(got, r)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	// Serial grouped-by-topic delivery matches append order exactly.
+	compareRecs(t, "serial", collect(QuerySpec{}), want)
+
+	// Chrono and parallel plans reorder across topics; compare as sets.
+	wantSorted := append([]rec(nil), want...)
+	sortRecs(wantSorted)
+	for _, c := range []struct {
+		name string
+		spec QuerySpec
+	}{
+		{"chrono", QuerySpec{Order: OrderTime}},
+		{"parallel", QuerySpec{Workers: 2}},
+	} {
+		got := collect(c.spec)
+		sortRecs(got)
+		compareRecs(t, c.name, got, wantSorted)
+	}
+}
+
+// TestBorrowEquivalenceParallelRetain: a retaining callback (Retain per
+// message, from concurrent goroutines) observes the same bytes the
+// copying reference does — the contract's escape hatch is sound even
+// while scratch buffers are being reused underneath it. Runs under
+// -race in CI.
+func TestBorrowEquivalenceParallelRetain(t *testing.T) {
+	bag, _ := cachedBag(t, 5)
+	want := groundTruth(t, bag)
+	sortRecs(want)
+	var mu sync.Mutex
+	var kept []MessageRef
+	err := bag.Query(QuerySpec{Workers: 2}, func(m MessageRef) error {
+		r := m.Retain()
+		mu.Lock()
+		kept = append(kept, r)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]rec, len(kept))
+	for i, m := range kept {
+		got[i] = rec{topic: m.Conn.Topic, time: m.Time, data: m.Data}
+	}
+	sortRecs(got)
+	compareRecs(t, "parallel retain", got, want)
+}

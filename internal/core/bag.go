@@ -27,13 +27,51 @@ type Stats struct {
 	MessagesRead   int   // messages delivered to callers
 }
 
-// MessageRef is one message yielded by a BORA query. Data is only valid
-// for the duration of the callback.
+// MessageRef is one message yielded by a BORA query.
+//
+// Buffer-ownership contract: Data is READ-ONLY and borrowed — it is
+// valid only for the duration of the callback it was passed to. The
+// bytes live in a per-stream scratch buffer (reused for the next
+// message) or are a direct slice of the shared block cache, so a
+// callback that stores Data, mutates it, or hands it to another
+// goroutine that outlives the callback must take an owned copy first:
+// Copy returns the bytes, Retain returns the whole ref with owned
+// bytes, and AppendTo retains into a caller-reused buffer. Callbacks
+// that fully consume the message before returning (writing it to a
+// file, socket, or sink; decoding it; counting it) need none of these.
+// This is what makes the steady-state query hot loop allocation-free.
 type MessageRef struct {
 	Conn *bagio.Connection
 	Time bagio.Time
 	Data []byte
 }
+
+// Copy returns an owned copy of Data, valid indefinitely.
+func (m MessageRef) Copy() []byte {
+	return append([]byte(nil), m.Data...)
+}
+
+// Retain returns m with Data replaced by an owned copy — the ref a
+// callback may keep past its return.
+func (m MessageRef) Retain() MessageRef {
+	m.Data = m.Copy()
+	return m
+}
+
+// AppendTo appends Data to dst and returns the result — retention into
+// a buffer the caller reuses (or draws from its own pool), for
+// consumers that would otherwise pay Copy's per-message allocation.
+func (m MessageRef) AppendTo(dst []byte) []byte {
+	return append(dst, m.Data...)
+}
+
+// msgScratch is one stream's reusable read buffer. Every query plan
+// draws scratches from scratchPool — one per concurrent topic stream —
+// so steady-state reads allocate nothing: a buffer grows to the largest
+// message it has carried and is then shared across queries.
+type msgScratch struct{ buf []byte }
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(msgScratch) }}
 
 // bagObs holds the pre-resolved obs handles for a bag's query paths;
 // all fields are nil (no-op) when observability is off.
@@ -228,12 +266,12 @@ func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio
 	if err != nil {
 		return err
 	}
-	positions, windows, err := bag.positionsInRange(t, entries, start, end)
+	positions, all, windows, err := bag.positionsInRange(t, start, end)
 	if err != nil {
 		return err
 	}
 	d.WindowsScanned += windows
-	if len(positions) == 0 {
+	if !all && len(positions) == 0 {
 		return nil
 	}
 	df, err := t.OpenData()
@@ -243,13 +281,25 @@ func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio
 	defer df.Close()
 	d.Seeks++ // one open/position per topic file
 	conn := t.Connection()
-	for _, pos := range positions {
+	scratch := scratchPool.Get().(*msgScratch)
+	defer scratchPool.Put(scratch)
+	count := len(positions)
+	if all {
+		count = len(entries)
+	}
+	for i := 0; i < count; i++ {
+		pos := i
+		if !all {
+			pos = int(positions[i])
+		}
 		e := entries[pos]
 		d.EntriesScanned++
 		if e.Time.Before(start) || end.Before(e.Time) {
 			continue // fine-grain filter at window boundaries
 		}
-		data, err := t.ReadMessage(df, e)
+		// Borrowed read: data lives in scratch (or the block cache) and
+		// is valid only until the callback returns — see MessageRef.
+		data, err := t.ReadMessageInto(df, e, &scratch.buf)
 		if err != nil {
 			return err
 		}
@@ -264,20 +314,18 @@ func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio
 
 // positionsInRange returns the entry ordinals to visit for [start, end]
 // and the number of coarse windows scanned. A full-range query visits
-// every entry without touching the time index.
-func (bag *Bag) positionsInRange(t *container.Topic, entries []container.IndexEntry, start, end bagio.Time) ([]uint32, int, error) {
+// every entry in append order without touching the time index; that
+// case reports all=true with nil positions rather than materializing
+// an ordinal list per query.
+func (bag *Bag) positionsInRange(t *container.Topic, start, end bagio.Time) (positions []uint32, all bool, windows int, err error) {
 	if start == bagio.MinTime && end == bagio.MaxTime {
-		positions := make([]uint32, len(entries))
-		for i := range positions {
-			positions[i] = uint32(i)
-		}
-		return positions, 0, nil
+		return nil, true, 0, nil
 	}
 	ix, err := bag.timeIndex(t)
 	if err != nil {
-		return nil, 0, err
+		return nil, false, 0, err
 	}
-	return ix.QuerySorted(start, end), ix.WindowsScanned(start, end), nil
+	return ix.QuerySorted(start, end), false, ix.WindowsScanned(start, end), nil
 }
 
 // timeIndex loads (or rebuilds) the coarse-grain time index of a topic.
@@ -380,14 +428,25 @@ func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end 
 		if err != nil {
 			return err
 		}
-		// Restrict to the queried range up front.
-		positions, windows, err := bag.positionsInRange(t, entries, start, end)
+		// Restrict to the queried range up front. The per-topic entry
+		// list is copied (it is sorted below and the topic's cached
+		// slice must stay in append order) — one slice per topic per
+		// query, never per message.
+		positions, all, windows, err := bag.positionsInRange(t, start, end)
 		if err != nil {
 			return err
 		}
 		d.WindowsScanned += windows
-		filtered := make([]container.IndexEntry, 0, len(positions))
-		for _, pos := range positions {
+		count := len(positions)
+		if all {
+			count = len(entries)
+		}
+		filtered := make([]container.IndexEntry, 0, count)
+		for i := 0; i < count; i++ {
+			pos := i
+			if !all {
+				pos = int(positions[i])
+			}
 			e := entries[pos]
 			d.EntriesScanned++
 			if e.Time.Before(start) || end.Before(e.Time) {
@@ -407,10 +466,15 @@ func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end 
 		h = append(h, &mergeItem{topic: t, entries: filtered, file: df})
 	}
 	heap.Init(&h)
+	// One scratch serves the whole merge: messages are delivered one at
+	// a time, and the callback's borrow of the previous payload ends
+	// before the next read overwrites it.
+	scratch := scratchPool.Get().(*msgScratch)
+	defer scratchPool.Put(scratch)
 	for h.Len() > 0 {
 		it := h[0]
 		e := it.entries[it.pos]
-		data, err := it.topic.ReadMessage(it.file, e)
+		data, err := it.topic.ReadMessageInto(it.file, e, &scratch.buf)
 		if err != nil {
 			return err
 		}

@@ -49,6 +49,12 @@ var errReadCancelled = errors.New("core: parallel read cancelled")
 // cancels in-flight topic reads at their next message, so a poisoned
 // topic cannot force the remaining topics to stream in full (nor fn to
 // keep firing) before the error surfaces.
+//
+// Each concurrent topic stream draws its own scratch buffer from the
+// shared scratchPool (readTopicRange), so concurrent workers never
+// share a read buffer and steady-state streaming stays allocation-free
+// across queries. The borrowed-Data contract consequently holds per
+// callback invocation even though fn fires from several goroutines.
 func (bag *Bag) readParallel(parent obs.Span, topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
 	sp := parent.ChildOp(bag.ops.readParallel)
 	defer func() { sp.EndErr(err) }()

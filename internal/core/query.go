@@ -65,6 +65,12 @@ const cancelCheckBatch = 64
 // serial scan is core.read_time (the coarse window index prunes the
 // per-topic scans), Workers != 0 is core.read_parallel, and
 // OrderTime is core.read_chrono.
+//
+// The MessageRef passed to fn borrows its Data: the bytes are valid
+// only until fn returns (see the MessageRef ownership contract). Every
+// plan reuses per-stream scratch buffers — and serves block-cache hits
+// as direct cache slices — so the steady-state per-message cost of the
+// hot loop is zero allocations.
 func (bag *Bag) Query(spec QuerySpec, fn func(MessageRef) error) error {
 	return bag.QuerySpanContext(context.Background(), obs.Span{}, spec, fn)
 }

@@ -12,17 +12,25 @@ package graph
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bagio"
 	"repro/internal/msgs"
 )
 
 // Message is one delivered publication.
+//
+// Data ownership depends on how the message was published: Publish and
+// PublishRaw hand every subscriber a buffer it owns, while
+// PublishBorrowed delivers buffers that are valid only for the duration
+// of the callback (borrowed by synchronous subscribers, shared from a
+// recycled pool by asynchronous ones) — callbacks on topics fed by
+// PublishBorrowed must copy what they keep and never mutate Data.
 type Message struct {
 	Topic string
 	Type  string
 	Time  bagio.Time
-	Data  []byte // serialized payload; owned by the receiver
+	Data  []byte // serialized payload; see ownership note above
 }
 
 // Graph is the registry of nodes and topic buses (the "ROS master").
@@ -186,7 +194,7 @@ func (p *Publisher) Publish(t bagio.Time, m msgs.Message) error {
 }
 
 // PublishRaw fans out pre-serialized bytes. The buffer is not copied;
-// callers must not reuse it.
+// callers must not reuse it (ownership transfers to the subscribers).
 func (p *Publisher) PublishRaw(t bagio.Time, data []byte) error {
 	p.mu.Lock()
 	p.published++
@@ -200,7 +208,80 @@ func (p *Publisher) PublishRaw(t bagio.Time, data []byte) error {
 	subs := append([]*Subscriber(nil), p.bus.subs...)
 	p.bus.mu.Unlock()
 	for _, s := range subs {
-		s.offer(msg)
+		s.deliver(delivery{m: msg})
+	}
+	return nil
+}
+
+// pubBufPool recycles the single shared copy PublishBorrowed makes for
+// asynchronous subscribers, so a steady replay stream republishes
+// without growing the heap.
+var pubBufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// sharedBuf refcounts one pooled publication buffer across the
+// asynchronous subscribers it was fanned out to; the last release
+// (after the callback returns, or when a full queue drops the message)
+// returns the buffer to the pool.
+type sharedBuf struct {
+	buf  *[]byte
+	refs atomic.Int32
+}
+
+func (b *sharedBuf) release() {
+	if b.refs.Add(-1) == 0 {
+		pubBufPool.Put(b.buf)
+	}
+}
+
+// PublishBorrowed fans out bytes the publisher only lends: data must
+// stay valid (and unmutated) for the duration of the call, and the
+// publisher is free to reuse it afterwards — the borrowed-buffer dual
+// of PublishRaw, built for republishing core.MessageRef payloads
+// without a per-message copy (see replay.Play).
+//
+// Synchronous subscribers (SubscribeSync) receive data itself, inline.
+// Only when the graph must retain the bytes past the call — queued
+// asynchronous subscribers, or a latched topic — is a copy made: one
+// pooled, refcounted buffer shared by every asynchronous subscriber
+// (recycled after the last callback or drop), plus an owned copy for
+// the latch. Asynchronous callbacks on such topics therefore get Data
+// valid only during the callback; they must Copy what they keep.
+func (p *Publisher) PublishBorrowed(t bagio.Time, data []byte) error {
+	p.mu.Lock()
+	p.published++
+	p.mu.Unlock()
+	msg := Message{Topic: p.bus.name, Type: p.bus.msgType, Time: t, Data: data}
+	p.bus.mu.Lock()
+	if p.latch {
+		latched := msg
+		latched.Data = append([]byte(nil), data...)
+		p.bus.latched = &latched
+	}
+	subs := append([]*Subscriber(nil), p.bus.subs...)
+	p.bus.mu.Unlock()
+	async := 0
+	for _, s := range subs {
+		if !s.sync {
+			async++
+		}
+	}
+	if async > 0 {
+		bp := pubBufPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], data...)
+		shared := &sharedBuf{buf: bp}
+		shared.refs.Store(int32(async))
+		am := msg
+		am.Data = *bp
+		for _, s := range subs {
+			if !s.sync {
+				s.deliver(delivery{m: am, release: shared.release})
+			}
+		}
+	}
+	for _, s := range subs {
+		if s.sync {
+			s.deliver(delivery{m: msg})
+		}
 	}
 	return nil
 }
@@ -212,11 +293,24 @@ func (p *Publisher) Published() int64 {
 	return p.published
 }
 
-// Subscriber receives one topic's messages through a bounded queue.
+// delivery is one queued (or inline) hand-off to a subscriber. release,
+// when non-nil, must be called exactly once after the callback returns
+// — or when the message is dropped — to release the refcounted pooled
+// buffer backing m.Data.
+type delivery struct {
+	m       Message
+	release func()
+}
+
+// Subscriber receives one topic's messages — through a bounded queue
+// and a dedicated goroutine (Subscribe), or inline on the publisher's
+// goroutine (SubscribeSync).
 type Subscriber struct {
 	node  *Node
 	bus   *bus
-	queue chan Message
+	sync  bool          // inline delivery; queue is nil
+	cb    func(Message) // sync-mode callback
+	queue chan delivery
 	done  chan struct{}
 	wg    sync.WaitGroup
 
@@ -243,7 +337,7 @@ func (n *Node) Subscribe(topic string, queueSize int, cb func(Message)) (*Subscr
 	s := &Subscriber{
 		node:  n,
 		bus:   b,
-		queue: make(chan Message, queueSize),
+		queue: make(chan delivery, queueSize),
 		done:  make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -251,17 +345,23 @@ func (n *Node) Subscribe(topic string, queueSize int, cb func(Message)) (*Subscr
 		defer s.wg.Done()
 		for {
 			select {
-			case m, ok := <-s.queue:
+			case d, ok := <-s.queue:
 				if !ok {
 					return
 				}
-				cb(m)
+				cb(d.m)
+				if d.release != nil {
+					d.release()
+				}
 			case <-s.done:
 				// Drain what is already queued, then exit.
 				for {
 					select {
-					case m := <-s.queue:
-						cb(m)
+					case d := <-s.queue:
+						cb(d.m)
+						if d.release != nil {
+							d.release()
+						}
 					default:
 						return
 					}
@@ -269,33 +369,81 @@ func (n *Node) Subscribe(topic string, queueSize int, cb func(Message)) (*Subscr
 			}
 		}
 	}()
+	return n.attach(b, s)
+}
+
+// SubscribeSync attaches a callback that runs inline on the publishing
+// goroutine — no queue, no drops, no cross-goroutine hand-off. The
+// callback must be fast (it stalls the publisher) and must not Close
+// its own subscription from inside the callback. Combined with
+// PublishBorrowed this is the zero-copy delivery path: the callback's
+// Message borrows the publisher's bytes and must copy what it keeps.
+func (n *Node) SubscribeSync(topic string, cb func(Message)) (*Subscriber, error) {
+	if cb == nil {
+		return nil, fmt.Errorf("graph: nil callback")
+	}
+	b, err := n.g.topicBus(topic, "")
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{
+		node: n,
+		bus:  b,
+		sync: true,
+		cb:   cb,
+		done: make(chan struct{}),
+	}
+	return n.attach(b, s)
+}
+
+// attach registers s on the bus and replays any latched message.
+func (n *Node) attach(b *bus, s *Subscriber) (*Subscriber, error) {
 	b.mu.Lock()
 	b.subs = append(b.subs, s)
 	latched := b.latched
 	b.mu.Unlock()
 	if latched != nil {
-		s.offer(*latched)
+		s.deliver(delivery{m: *latched})
 	}
 	return s, nil
 }
 
-// offer enqueues a message, dropping the oldest on overflow.
-func (s *Subscriber) offer(m Message) {
+// deliver hands one message to the subscriber: inline for sync
+// subscribers, enqueued (dropping the oldest on overflow) otherwise.
+// Dropped or undeliverable messages still release their pooled buffer.
+func (s *Subscriber) deliver(d delivery) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if d.release != nil {
+			d.release()
+		}
+		return
+	}
+	if s.sync {
+		// Count the in-flight callback so close() can wait for it.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.cb(d.m)
+		if d.release != nil {
+			d.release()
+		}
+		s.wg.Done()
 		return
 	}
 	s.mu.Unlock()
 	for {
 		select {
-		case s.queue <- m:
+		case s.queue <- d:
 			return
 		default:
 		}
 		// Queue full: drop the oldest and retry.
 		select {
-		case <-s.queue:
+		case old := <-s.queue:
+			if old.release != nil {
+				old.release()
+			}
 			s.mu.Lock()
 			s.dropped++
 			s.mu.Unlock()

@@ -79,6 +79,24 @@ type workItem struct {
 	topic   string
 	time    bagio.Time
 	payload []byte
+	// buf, when non-nil, is the pooled holder backing payload; the
+	// worker recycles it once the item has been appended or dropped.
+	buf *[]byte
+}
+
+// dispatchBufPool recycles the per-message copies Dispatch makes for
+// asynchronous hand-off to workers, so a steady organize run reuses a
+// small working set of buffers instead of allocating one per message.
+var dispatchBufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// recycle returns the item's pooled buffer, if any. Call only after
+// the payload's last use.
+func (it *workItem) recycle() {
+	if it.buf != nil {
+		dispatchBufPool.Put(it.buf)
+		it.buf = nil
+		it.payload = nil
+	}
 }
 
 // Distributor fans messages out to per-topic sinks over a worker pool.
@@ -143,6 +161,7 @@ func (d *Distributor) runWorker(ch <-chan workItem) {
 	for item := range ch {
 		if d.failed() {
 			d.noteDropped(item)
+			item.recycle()
 			continue // drain
 		}
 		sp := wsp.ChildOp(d.appendOp)
@@ -150,12 +169,15 @@ func (d *Distributor) runWorker(ch <-chan workItem) {
 			sp.EndErr(err)
 			d.fail(err)
 			d.noteDropped(item)
+			item.recycle()
 			continue
 		}
-		sp.EndBytes(int64(len(item.payload)))
+		n := int64(len(item.payload))
+		item.recycle()
+		sp.EndBytes(n)
 		d.statsMu.Lock()
 		d.stats.Messages++
-		d.stats.Bytes += int64(len(item.payload))
+		d.stats.Bytes += n
 		d.stats.PerTopic[item.topic]++
 		d.statsMu.Unlock()
 	}
@@ -237,9 +259,9 @@ func (d *Distributor) Dispatch(conn *bagio.Connection, t bagio.Time, payload []b
 		sp.EndBytes(int64(len(payload)))
 		return nil
 	}
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-	item := workItem{sink: sink, topic: conn.Topic, time: t, payload: buf}
+	bp := dispatchBufPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], payload...)
+	item := workItem{sink: sink, topic: conn.Topic, time: t, payload: *bp, buf: bp}
 	ch := d.workers[topicHash(conn.Topic)%uint32(len(d.workers))]
 	select {
 	case ch <- item:

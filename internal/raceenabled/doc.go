@@ -1,0 +1,7 @@
+// Package raceenabled exposes whether the binary was built with the
+// race detector. Allocation-budget tests use it to downgrade strict
+// testing.AllocsPerRun assertions to logs: the race runtime adds its
+// own allocations to instrumented code, so exact alloc counts only
+// hold in non-race builds, while the tests' correctness checks (byte
+// equivalence, retained-buffer safety) run everywhere.
+package raceenabled

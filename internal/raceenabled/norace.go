@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceenabled
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = false

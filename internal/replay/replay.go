@@ -123,10 +123,12 @@ func Play(g *graph.Graph, nodeName string, src Source, opts Options) (Stats, err
 			started = true
 		}
 		prev = t
-		// Publish a copy: the source buffer is only valid per callback.
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		if err := pub.PublishRaw(t, buf); err != nil {
+		// The source buffer is only valid during this callback, which is
+		// exactly PublishBorrowed's contract: synchronous subscribers get
+		// the bytes inline with zero copies, and the graph makes one
+		// pooled copy only when queued subscribers (or a latch) must
+		// retain them past the call.
+		if err := pub.PublishBorrowed(t, data); err != nil {
 			return err
 		}
 		stats.Messages++

@@ -151,7 +151,6 @@ func (s *Server) Serve(ln net.Listener) error {
 			s:  s,
 			nc: nc,
 			br: bufio.NewReaderSize(nc, 64<<10),
-			bw: bufio.NewWriterSize(nc, 64<<10),
 		}
 		c.ctx, c.cancelCtx = context.WithCancel(s.baseCtx)
 		s.mu.Lock()
@@ -303,13 +302,20 @@ func (s *Server) open(ctx context.Context, name string, parent obs.Span) (*core.
 // conn is one accepted connection. The read loop (serve) owns the
 // reader; writes go through writeFrame's mutex because a streaming
 // query goroutine and the read loop (PONG, BUSY) write concurrently.
+// The write side has no bufio layer: every frame is flushed to the
+// socket immediately anyway, so the per-connection wire.Encoder —
+// which assembles header + payload in one reusable buffer and issues
+// one Write per frame — replaces buffering without adding a copy.
 type conn struct {
 	s  *Server
 	nc net.Conn
 	br *bufio.Reader
+	// rbuf is the read loop's reusable inbound payload buffer; every
+	// handler copies what it keeps before the next frame is read.
+	rbuf []byte
 
 	wmu sync.Mutex
-	bw  *bufio.Writer
+	enc wire.Encoder
 
 	ctx       context.Context // conn-scoped; canceled on close
 	cancelCtx context.CancelFunc
@@ -336,7 +342,7 @@ type query struct {
 func (c *conn) serve() {
 	defer c.close()
 	for {
-		f, err := wire.ReadFrame(c.br, c.s.maxFrame)
+		f, err := wire.ReadFrameInto(c.br, c.s.maxFrame, &c.rbuf)
 		if err != nil {
 			return
 		}
@@ -393,10 +399,17 @@ func (c *conn) close() {
 func (c *conn) writeFrame(op byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.enc.WriteFrame(c.nc, op, payload)
+}
+
+// writeMsg streams one MSG frame, encoding the message straight into
+// the connection's frame buffer — the zero-allocation hot path of a
+// query stream. m.Data is only read during the call, so the borrowed
+// core.MessageRef bytes pass through without a copy.
+func (c *conn) writeMsg(m wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.WriteMsg(c.nc, m)
 }
 
 // writeErr reports a per-request failure without poisoning the
@@ -609,9 +622,9 @@ func (c *conn) runQuery(q *query, req wire.QueryReq) {
 		if err := q.waitCredit(); err != nil {
 			return err
 		}
-		if err := c.writeFrame(wire.OpMsg, wire.EncodeMsg(wire.Msg{
+		if err := c.writeMsg(wire.Msg{
 			Conn: idx[m.Conn.Topic], Time: m.Time, Data: m.Data,
-		})); err != nil {
+		}); err != nil {
 			return err
 		}
 		count++

@@ -80,29 +80,87 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame writes one frame to w.
+// AppendFrame appends one complete frame (header + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, op byte, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, op)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w as a single Write call, so an
+// unbuffered writer pays one syscall per frame and a peer never
+// observes a header without its payload (no torn-write window between
+// header and body). Hot paths should prefer an Encoder, which reuses
+// its assembly buffer across frames; WriteFrame allocates one per call
+// for payloads that don't fit its stack buffer.
 func WriteFrame(w io.Writer, op byte, payload []byte) error {
-	var hdr [HeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = op
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	var stack [HeaderSize + 256]byte
+	frame := AppendFrame(stack[:0], op, payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+// Encoder assembles frames in a reusable buffer and writes each with a
+// single Write call. One Encoder serves one connection's write side
+// (serialize externally, as conn write locks already do); steady-state
+// frame encoding performs zero allocations once the buffer has grown
+// to the largest frame seen.
+type Encoder struct{ buf []byte }
+
+// WriteFrame writes one op+payload frame through the encoder's buffer.
+func (e *Encoder) WriteFrame(w io.Writer, op byte, payload []byte) error {
+	e.buf = AppendFrame(e.buf[:0], op, payload)
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// WriteMsg writes one MSG frame, encoding the message fields directly
+// into the frame buffer — no intermediate payload slice, one Write,
+// zero steady-state allocations. m.Data is only read during the call,
+// so borrowed buffers (core.MessageRef.Data) can be passed straight
+// through.
+func (e *Encoder) WriteMsg(w io.Writer, m Msg) error {
+	e.buf = binary.BigEndian.AppendUint32(e.buf[:0], uint32(2+8+4+len(m.Data)))
+	e.buf = append(e.buf, OpMsg)
+	enc := enc{b: e.buf}
+	enc.u16(m.Conn)
+	enc.time(m.Time)
+	enc.bytes32(m.Data)
+	e.buf = enc.b
+	_, err := w.Write(e.buf)
+	return err
 }
 
 // ReadFrame reads one frame from r, rejecting payloads longer than max
-// (0 selects DefaultMaxFrame) and unknown opcodes. The payload buffer
-// grows only as bytes arrive, so an adversarial length prefix costs the
-// sender the bytes, not the receiver the memory.
+// (0 selects DefaultMaxFrame) and unknown opcodes. The returned payload
+// is freshly allocated and owned by the caller; streaming consumers
+// should prefer ReadFrameInto, which reuses a buffer across frames.
 func ReadFrame(r io.Reader, max uint32) (Frame, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return ReadFrameInto(r, max, &buf)
+}
+
+// readChunk bounds how far ahead of the bytes actually received
+// ReadFrameInto grows its buffer, so an adversarial length prefix costs
+// the sender the bytes, not the receiver the memory.
+const readChunk = 64 << 10
+
+// ReadFrameInto is ReadFrame with the payload read into *buf, which is
+// grown only as bytes arrive and reused across calls — once it covers
+// the largest frame seen, the steady-state read path performs zero
+// allocations. The returned Frame.Payload aliases *buf: it is valid
+// only until the next ReadFrameInto with the same buffer, and callers
+// that keep it must copy.
+func ReadFrameInto(r io.Reader, max uint32, buf *[]byte) (Frame, error) {
+	// The header is read through the reusable buffer too: a local array
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame.
+	if cap(*buf) < HeaderSize {
+		*buf = make([]byte, HeaderSize)
+	}
+	hdr := (*buf)[:HeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return Frame{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
@@ -116,17 +174,31 @@ func ReadFrame(r io.Reader, max uint32) (Frame, error) {
 	if !KnownOp(op) {
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownOp, op)
 	}
-	if n == 0 {
-		return Frame{Op: op}, nil
-	}
-	var buf bytes.Buffer
-	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	b := (*buf)[:0]
+	for remaining := int(n); remaining > 0; {
+		chunk := remaining
+		if chunk > readChunk {
+			chunk = readChunk
 		}
-		return Frame{}, err
+		off := len(b)
+		if cap(b) < off+chunk {
+			nb := make([]byte, off, off+chunk)
+			copy(nb, b)
+			b = nb
+		}
+		m, err := io.ReadFull(r, b[off:off+chunk])
+		b = b[:off+m]
+		*buf = b
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+		remaining -= chunk
 	}
-	return Frame{Op: op, Payload: buf.Bytes()}, nil
+	*buf = b
+	return Frame{Op: op, Payload: b}, nil
 }
 
 // DecodeFrame decodes one frame from a byte slice (ReadFrame over a
