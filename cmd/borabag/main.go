@@ -157,6 +157,8 @@ globalFlags:
 		err = cmdBagInfo(args[1:])
 	case "play":
 		err = cmdPlay(args[1:])
+	case "trace-merge":
+		err = cmdTraceMerge(args[1:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -227,6 +229,7 @@ commands:
   fsck       check a container for crash damage and optionally repair it
   baginfo    summarize a BORA bag (rosbag info over the container)
   play       replay a bag's messages in timestamp order (rosbag play)
+  trace-merge  stitch client and server Chrome traces into one timeline
 `)
 }
 

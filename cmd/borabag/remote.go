@@ -18,7 +18,9 @@ import (
 var remoteAddr string
 
 func dialRemote() (*client.Client, error) {
-	return client.Dial(remoteAddr, client.Options{})
+	// The shared registry (global -metrics/-trace flags) records the
+	// client-side query spans; trace ids ride the wire either way.
+	return client.Dial(remoteAddr, client.Options{Obs: metricsReg})
 }
 
 // remoteTopics is cmdTopics against a daemon.
@@ -69,7 +71,7 @@ func remoteQuery(name string, topics []string, startSec, endSec float64, chrono,
 		return err
 	}
 	count, bytes := st.Received()
-	fmt.Printf("remote query %v: %d messages, %d bytes from %s\n",
-		time.Since(queryStart), count, bytes, remoteAddr)
+	fmt.Printf("remote query %v: %d messages, %d bytes from %s (query id %016x)\n",
+		time.Since(queryStart), count, bytes, remoteAddr, st.QueryID())
 	return nil
 }

@@ -1,0 +1,57 @@
+// trace-merge stitches the Chrome trace JSON files of several processes
+// — typically a borabag -trace client run and the borad daemon's -trace
+// output — into one timeline keyed on shared query ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func cmdTraceMerge(args []string) error {
+	fs := flag.NewFlagSet("trace-merge", flag.ExitOnError)
+	out := fs.String("o", "merged-trace.json", "merged Chrome trace output path")
+	align := fs.Bool("align", true, "shift timelines so spans sharing a query id coincide")
+	names := fs.String("names", "", "comma-separated process names (default: file base names)")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		return fmt.Errorf("trace-merge: at least two trace files required")
+	}
+	var labels []string
+	if *names != "" {
+		labels = strings.Split(*names, ",")
+		if len(labels) != fs.NArg() {
+			return fmt.Errorf("trace-merge: -names lists %d names for %d files", len(labels), fs.NArg())
+		}
+	}
+	inputs := make([]obs.TraceInput, fs.NArg())
+	for i, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		if labels != nil {
+			name = labels[i]
+		}
+		inputs[i] = obs.TraceInput{Name: name, Data: data}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := obs.MergeChromeTraces(f, inputs, *align); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d traces -> %s\n", len(inputs), *out)
+	return nil
+}

@@ -7,19 +7,29 @@
 // Usage:
 //
 //	borad -backend DIR [-listen ADDR] [-http ADDR] [-pool=false]
-//	      [-max-queries N] [-drain DUR]
+//	      [-max-queries N] [-drain DUR] [-slow DUR] [-slowlog FILE]
+//	      [-querylog N] [-trace FILE] [-pprof]
 //
 // Flags:
 //
 //	-backend DIR    BORA back-end directory to serve (required)
 //	-listen ADDR    TCP listen address for the wire protocol (default :7712)
 //	-http ADDR      optional HTTP sidecar: /metrics (obs snapshot JSON),
-//	                /healthz (200 ok / 503 draining), /statz (server stats)
+//	                /healthz (200 ok / 503 draining), /statz (server
+//	                stats), /slowqueries (the query log)
 //	-pool           serve opens through a shared handle pool (default true;
 //	                -pool=false cold-opens per query, the paper's baseline)
 //	-max-queries N  concurrent query streams admitted across all
 //	                connections before BUSY (default 64)
 //	-drain DUR      graceful-drain deadline on SIGTERM/SIGINT (default 30s)
+//	-slow DUR       slow-query threshold; queries at least this slow are
+//	                marked slow and written to -slowlog (0 = disabled)
+//	-slowlog FILE   append slow queries as JSON lines ("-" = stderr)
+//	-querylog N     completed-query records kept in memory for
+//	                /slowqueries (default 1024)
+//	-trace FILE     record spans and write a Chrome trace JSON on exit;
+//	                merge with a client's via "borabag trace-merge"
+//	-pprof          mount net/http/pprof under /debug/pprof/ on -http
 //
 // On SIGTERM or SIGINT the daemon drains: listeners close, in-flight
 // query streams run to completion (bounded by -drain), then it exits. A
@@ -30,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -43,47 +54,87 @@ import (
 	"repro/internal/server"
 )
 
+// config collects borad's flag values.
+type config struct {
+	backend    string
+	listen     string
+	httpAddr   string
+	usePool    bool
+	maxQueries int
+	drain      time.Duration
+	slow       time.Duration
+	slowlog    string
+	querylog   int
+	trace      string
+	pprof      bool
+}
+
 func main() {
-	var (
-		backend    = flag.String("backend", "", "BORA back-end directory (required)")
-		listen     = flag.String("listen", ":7712", "TCP listen address for the wire protocol")
-		httpAddr   = flag.String("http", "", "HTTP sidecar listen address (empty = disabled)")
-		usePool    = flag.Bool("pool", true, "serve opens through a shared handle pool")
-		maxQueries = flag.Int("max-queries", server.DefaultMaxQueries, "concurrent query streams before BUSY")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
-	)
+	var cfg config
+	flag.StringVar(&cfg.backend, "backend", "", "BORA back-end directory (required)")
+	flag.StringVar(&cfg.listen, "listen", ":7712", "TCP listen address for the wire protocol")
+	flag.StringVar(&cfg.httpAddr, "http", "", "HTTP sidecar listen address (empty = disabled)")
+	flag.BoolVar(&cfg.usePool, "pool", true, "serve opens through a shared handle pool")
+	flag.IntVar(&cfg.maxQueries, "max-queries", server.DefaultMaxQueries, "concurrent query streams before BUSY")
+	flag.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	flag.DurationVar(&cfg.slow, "slow", 0, "slow-query threshold (0 = disabled)")
+	flag.StringVar(&cfg.slowlog, "slowlog", "", "append slow queries as JSON lines to FILE (\"-\" = stderr)")
+	flag.IntVar(&cfg.querylog, "querylog", 0, "completed-query records kept for /slowqueries (0 = default)")
+	flag.StringVar(&cfg.trace, "trace", "", "write a Chrome trace JSON to FILE on exit")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof on the -http sidecar")
 	flag.Parse()
-	if err := run(*backend, *listen, *httpAddr, *usePool, *maxQueries, *drain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "borad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(backend, listen, httpAddr string, usePool bool, maxQueries int, drain time.Duration) error {
-	if backend == "" {
+func run(cfg config) error {
+	if cfg.backend == "" {
 		return fmt.Errorf("-backend is required")
 	}
 	reg := obs.NewRegistry()
-	b, err := core.New(backend, core.Options{Obs: reg})
+	var tracer *obs.Tracer
+	if cfg.trace != "" {
+		tracer = obs.NewTracer(0)
+		reg.AttachTracer(tracer)
+	}
+	b, err := core.New(cfg.backend, core.Options{Obs: reg})
 	if err != nil {
 		return err
 	}
-	opts := server.Options{MaxQueries: maxQueries}
-	if usePool {
+
+	var slowSink io.Writer
+	if cfg.slowlog != "" {
+		if cfg.slowlog == "-" {
+			slowSink = os.Stderr
+		} else {
+			f, err := os.OpenFile(cfg.slowlog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("-slowlog: %w", err)
+			}
+			defer f.Close()
+			slowSink = f
+		}
+	}
+	qlog := obs.NewQueryLog(cfg.querylog, cfg.slow, slowSink)
+
+	opts := server.Options{MaxQueries: cfg.maxQueries, QueryLog: qlog, Pprof: cfg.pprof}
+	if cfg.usePool {
 		opts.Pool = pool.New(b, pool.Options{})
 	}
 	srv := server.New(b, opts)
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "borad: serving %s on %s (pool=%v, max-queries=%d)\n",
-		backend, ln.Addr(), usePool, maxQueries)
+		cfg.backend, ln.Addr(), cfg.usePool, cfg.maxQueries)
 
 	var hsrv *http.Server
-	if httpAddr != "" {
-		hln, err := net.Listen("tcp", httpAddr)
+	if cfg.httpAddr != "" {
+		hln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
 			ln.Close()
 			return err
@@ -99,13 +150,29 @@ func run(backend, listen, httpAddr string, usePool bool, maxQueries int, drain t
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
+	writeTrace := func() {
+		if tracer == nil {
+			return
+		}
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "borad: trace:", err)
+			return
+		}
+		defer f.Close()
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "borad: trace:", err)
+		}
+	}
+
 	select {
 	case err := <-errCh:
+		writeTrace()
 		return err
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "borad: %v: draining (deadline %v)\n", sig, drain)
+		fmt.Fprintf(os.Stderr, "borad: %v: draining (deadline %v)\n", sig, cfg.drain)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	go func() {
 		<-sigCh
@@ -116,6 +183,7 @@ func run(backend, listen, httpAddr string, usePool bool, maxQueries int, drain t
 	if hsrv != nil {
 		hsrv.Close()
 	}
+	writeTrace()
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}

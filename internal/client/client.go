@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bagio"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 )
 
@@ -65,6 +66,11 @@ type Options struct {
 	Window int
 	// MaxFrame bounds inbound frames; zero selects wire.DefaultMaxFrame.
 	MaxFrame uint32
+	// Obs, when non-nil, records client-side query spans (client.query)
+	// on this registry, tagged with each query's trace id — the client
+	// half of a cross-process trace (see obs.MergeChromeTraces). Nil
+	// disables recording; queries still carry trace ids on the wire.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -101,8 +107,9 @@ func (o *Options) backoff(i int) time.Duration {
 // concurrent use but execute one request at a time; while a query
 // stream is open, other requests fail with ErrStreamActive.
 type Client struct {
-	addr string
-	opts Options
+	addr    string
+	opts    Options
+	queryOp *obs.Op // client.query: one span per Query call (nil = no-op)
 
 	mu        sync.Mutex
 	nc        net.Conn
@@ -124,10 +131,11 @@ func Dial(addr string, opts Options) (*Client, error) {
 		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 		if err == nil {
 			return &Client{
-				addr: addr,
-				opts: opts,
-				nc:   nc,
-				br:   bufio.NewReaderSize(nc, 64<<10),
+				addr:    addr,
+				opts:    opts,
+				queryOp: opts.Obs.Op("client.query"),
+				nc:      nc,
+				br:      bufio.NewReaderSize(nc, 64<<10),
 			}, nil
 		}
 		lastErr = err
@@ -272,6 +280,12 @@ type QuerySpec struct {
 	// Chrono delivers messages in global timestamp order across topics
 	// (core.OrderTime) instead of grouped by topic.
 	Chrono bool
+	// QueryID is the 64-bit trace id the query travels under; zero (the
+	// default) mints a fresh random id per Query call. The id is sent on
+	// the wire so the server's spans and slow-query records carry the
+	// same identity the client logs — Stream.QueryID reports what was
+	// used.
+	QueryID uint64
 }
 
 // Query starts a streaming query against the named bag, retrying BUSY
@@ -279,11 +293,16 @@ type QuerySpec struct {
 // consumed (Next until false) or Closed before the next request on
 // this client.
 func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
+	qid := q.QueryID
+	if qid == 0 {
+		qid = obs.NewTraceID()
+	}
 	req := wire.QueryReq{
-		Name:   name,
-		Topics: q.Topics,
-		Start:  q.Start,
-		End:    q.End,
+		Name:    name,
+		Topics:  q.Topics,
+		Start:   q.Start,
+		End:     q.End,
+		TraceID: qid,
 	}
 	if q.Chrono {
 		req.Order = wire.OrderTime
@@ -291,12 +310,18 @@ func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
 	if c.opts.Window > 0 {
 		req.Window = uint32(c.opts.Window)
 	}
-	payload := wire.EncodeQuery(req)
 	var lastErr error
 	for i := 0; i < c.opts.Attempts; i++ {
 		if i > 0 {
 			time.Sleep(c.opts.backoff(i))
 		}
+		// One span per attempt (a BUSY retry is a fresh exchange), tagged
+		// with the query's trace id. The server nests its own spans under
+		// ParentSpan when the merged trace is stitched, so the payload is
+		// re-encoded per attempt with the attempt's span id.
+		sp := c.queryOp.StartQuery(qid)
+		req.ParentSpan = sp.SpanID()
+		payload := wire.EncodeQuery(req)
 		var st *Stream
 		err := c.locked(func() error {
 			f, err := c.roundTrip(wire.OpQuery, payload)
@@ -315,12 +340,13 @@ func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
 			if creditAt < 1 {
 				creditAt = 1
 			}
-			st = &Stream{c: c, conns: conns, creditAt: creditAt, flow: c.opts.Window > 0}
+			st = &Stream{c: c, conns: conns, creditAt: creditAt, flow: c.opts.Window > 0, sp: sp, qid: qid}
 			return nil
 		})
 		if err == nil {
 			return st, nil
 		}
+		sp.EndErr(err)
 		lastErr = err
 		if !errors.Is(err, ErrBusy) {
 			return nil, err
@@ -363,6 +389,8 @@ type Stream struct {
 	conns    []wire.ConnMeta
 	creditAt int
 	flow     bool
+	sp       obs.Span // client.query span; ended when the stream ends
+	qid      uint64   // the query's trace id
 
 	unacked  int
 	cur      Message
@@ -371,6 +399,10 @@ type Stream struct {
 	err      error
 	finished bool
 }
+
+// QueryID returns the 64-bit trace id the query ran under — the same
+// id the server's spans and slow-query records carry.
+func (st *Stream) QueryID() uint64 { return st.qid }
 
 // Next advances to the next message, returning false at end of stream
 // or on error (check Err).
@@ -481,6 +513,11 @@ func (st *Stream) Close() error {
 
 func (st *Stream) finish() {
 	st.finished = true
+	if st.err != nil {
+		st.sp.EndErr(st.err)
+	} else {
+		st.sp.EndBytes(int64(st.bytes))
+	}
 	st.c.mu.Lock()
 	st.c.streaming = false
 	st.c.mu.Unlock()
@@ -492,4 +529,5 @@ func (st *Stream) finish() {
 func (st *Stream) fail(err error) {
 	st.err = err
 	st.finished = true
+	st.sp.EndErr(err)
 }

@@ -567,6 +567,14 @@ func (t *Topic) Striped() int {
 // the container carries a block cache the returned reader serves cache
 // hits from memory and fills misses block-by-block from the file.
 func (t *Topic) OpenData() (DataReader, error) {
+	return t.OpenDataQ(nil)
+}
+
+// OpenDataQ is OpenData with the reader's block-cache traffic (hits,
+// misses, miss fill time) charged to aq. A nil aq leaves the reads
+// unattributed; per-access charging is nil-safe, so this costs the
+// uncharged path nothing.
+func (t *Topic) OpenDataQ(aq *obs.ActiveQuery) (DataReader, error) {
 	var r DataReader
 	var err error
 	if t.stripes > 1 {
@@ -577,7 +585,7 @@ func (t *Topic) OpenData() (DataReader, error) {
 	if err != nil || t.cache == nil {
 		return r, err
 	}
-	return &cachedReader{inner: r, cache: t.cache, path: t.dir, gen: t.gen, fillOp: t.blockFillOp}, nil
+	return &cachedReader{inner: r, cache: t.cache, path: t.dir, gen: t.gen, fillOp: t.blockFillOp, aq: aq}, nil
 }
 
 // ReadMessage reads the payload for one index entry into a freshly

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/container"
+	"repro/internal/obs"
 	"repro/internal/raceenabled"
 )
 
@@ -121,6 +123,46 @@ func TestAllocBudgetChronoQuery(t *testing.T) {
 			return nil
 		})
 	})
+}
+
+// TestAllocBudgetAttribution pins the cost of per-query attribution on
+// the core hot path: running the same query with an *obs.ActiveQuery in
+// the context may add at most one allocation per query over the
+// untraced run — the counters are fetched once per query and bumped
+// with atomics, never per message.
+func TestAllocBudgetAttribution(t *testing.T) {
+	bag, msgs := cachedBag(t, 20)
+	run := func(ctx context.Context) float64 {
+		return testing.AllocsPerRun(3, func() {
+			err := bag.QueryContext(ctx, QuerySpec{Order: OrderTime}, func(m MessageRef) error {
+				allocSink += len(m.Data)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := run(context.Background())
+	aq := &obs.ActiveQuery{ID: obs.QueryID{Trace: 1}}
+	attributed := run(obs.ContextWithQuery(context.Background(), aq))
+	t.Logf("attribution: %.0f allocs/query untraced, %.0f attributed (%d messages)", base, attributed, msgs)
+
+	// The counters must have actually accumulated — a zero-cost no-op
+	// would also pass the alloc check.
+	if aq.IndexProbes.Load() <= 0 {
+		t.Errorf("attributed query scanned no index entries: probes = %d", aq.IndexProbes.Load())
+	}
+	if aq.CacheHits.Load() <= 0 {
+		t.Errorf("attributed query hit no cached blocks: hits = %d", aq.CacheHits.Load())
+	}
+	if raceenabled.Enabled {
+		t.Log("race detector enabled: skipping strict alloc assertion")
+		return
+	}
+	if attributed-base > 1 {
+		t.Errorf("attribution costs %.0f extra allocs per query, budget is 1", attributed-base)
+	}
 }
 
 // rec is one collected message for equivalence comparison.

@@ -250,12 +250,15 @@ func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
 // readTopicRange streams one topic's messages within [start, end]. sp is
 // the topic stream's already-started core.read_topic span — callers
 // create it as a child (serial queries) or a fork (parallel streams, one
-// trace lane each) of their own span — and is ended here.
-func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+// trace lane each) of their own span — and is ended here. aq, when
+// non-nil, is charged the stream's index probes and (via OpenDataQ) its
+// block-cache traffic; the per-message loop itself never touches it.
+func (bag *Bag) readTopicRange(sp obs.Span, aq *obs.ActiveQuery, t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
 	var d Stats
 	defer func() {
 		bag.addStats(d)
 		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+		aq.AddIndexProbes(int64(d.EntriesScanned))
 		if err != nil {
 			sp.EndErr(err)
 		} else {
@@ -274,7 +277,7 @@ func (bag *Bag) readTopicRange(sp obs.Span, t *container.Topic, start, end bagio
 	if !all && len(positions) == 0 {
 		return nil
 	}
-	df, err := t.OpenData()
+	df, err := t.OpenDataQ(aq)
 	if err != nil {
 		return err
 	}
@@ -402,7 +405,7 @@ func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn fu
 	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end, Order: OrderTime}, fn)
 }
 
-func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+func (bag *Bag) readMessagesChrono(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
 	sp := parent.ChildOp(bag.ops.readChrono)
 	defer func() { sp.EndErr(err) }()
 	if end.IsZero() {
@@ -416,6 +419,7 @@ func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end 
 	defer func() {
 		bag.addStats(d)
 		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+		aq.AddIndexProbes(int64(d.EntriesScanned))
 	}()
 	var h mergeHeap
 	defer func() {
@@ -458,7 +462,7 @@ func (bag *Bag) readMessagesChrono(parent obs.Span, topics []string, start, end 
 			continue
 		}
 		sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].Time.Before(filtered[j].Time) })
-		df, err := t.OpenData()
+		df, err := t.OpenDataQ(aq)
 		if err != nil {
 			return err
 		}
@@ -522,7 +526,7 @@ func (bag *Bag) ExportSpan(ws io.WriteSeeker, opts rosbag.WriterOptions, parent 
 		}
 		conns[name] = id
 	}
-	err = bag.readMessagesChrono(sp, nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	err = bag.readMessagesChrono(sp, nil, nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
 		return w.WriteMessage(conns[m.Conn.Topic], m.Time, m.Data)
 	})
 	if err != nil {

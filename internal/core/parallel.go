@@ -55,7 +55,7 @@ var errReadCancelled = errors.New("core: parallel read cancelled")
 // share a read buffer and steady-state streaming stays allocation-free
 // across queries. The borrowed-Data contract consequently holds per
 // callback invocation even though fn fires from several goroutines.
-func (bag *Bag) readParallel(parent obs.Span, topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
+func (bag *Bag) readParallel(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
 	sp := parent.ChildOp(bag.ops.readParallel)
 	defer func() { sp.EndErr(err) }()
 	resolved, err := bag.resolve(topics)
@@ -70,7 +70,7 @@ func (bag *Bag) readParallel(parent obs.Span, topics []string, start, end bagio.
 	}
 	if workers <= 1 {
 		for _, t := range resolved {
-			if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
+			if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), aq, t, start, end, fn); err != nil {
 				return err
 			}
 		}
@@ -106,7 +106,7 @@ func (bag *Bag) readParallel(parent obs.Span, topics []string, start, end bagio.
 				// Fork: each concurrent topic stream gets its own trace lane
 				// with a stable, disjoint track id.
 				tsp := sp.ForkOp(bag.ops.readTopic)
-				if err := bag.readTopicRange(tsp, resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
+				if err := bag.readTopicRange(tsp, aq, resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
 					fail(err)
 				}
 			}

@@ -132,23 +132,27 @@ func (bag *Bag) QuerySpanContext(ctx context.Context, parent obs.Span, spec Quer
 			return inner(m)
 		}
 	}
+	// Per-query attribution: the ActiveQuery (if any) is fetched from the
+	// context exactly once per query and threaded down by pointer — the
+	// per-message hot loops never touch the context.
+	aq := obs.QueryFromContext(ctx)
 	switch {
 	case spec.Order == OrderTime:
 		if spec.Workers != 0 {
 			return fmt.Errorf("bora: OrderTime queries are serial; Workers must be 0, got %d", spec.Workers)
 		}
-		return bag.readMessagesChrono(parent, spec.Topics, spec.Start, end, fn)
+		return bag.readMessagesChrono(parent, aq, spec.Topics, spec.Start, end, fn)
 	case spec.Workers != 0:
-		return bag.readParallel(parent, spec.Topics, spec.Start, end, spec.Workers, fn)
+		return bag.readParallel(parent, aq, spec.Topics, spec.Start, end, spec.Workers, fn)
 	default:
-		return bag.readSerial(parent, spec.Topics, spec.Start, end, fn)
+		return bag.readSerial(parent, aq, spec.Topics, spec.Start, end, fn)
 	}
 }
 
 // readSerial streams the resolved topics one after another. The span
 // keeps the historical op names: core.read for a full-axis scan
 // (Fig 7), core.read_time when the time index bounds the scan (Fig 8).
-func (bag *Bag) readSerial(parent obs.Span, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+func (bag *Bag) readSerial(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
 	op := bag.ops.read
 	if start != bagio.MinTime || end != bagio.MaxTime {
 		op = bag.ops.readTime
@@ -160,7 +164,7 @@ func (bag *Bag) readSerial(parent obs.Span, topics []string, start, end bagio.Ti
 		return err
 	}
 	for _, t := range resolved {
-		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), t, start, end, fn); err != nil {
+		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), aq, t, start, end, fn); err != nil {
 			return err
 		}
 	}

@@ -258,6 +258,15 @@ func (o *Op) Start() Span {
 	return Span{}.child(o, false)
 }
 
+// StartQuery is Start with the span (and every child span derived from
+// it) attributed to a query trace id: the tracer records qid on each
+// begin edge, so a whole server-side query subtree can be matched to
+// the client span that issued it (see Tracer.BeginQuery and the
+// borabag trace-merge subcommand). qid 0 is plain Start.
+func (o *Op) StartQuery(qid uint64) Span {
+	return Span{qid: qid}.child(o, false)
+}
+
 // Observe records one completed event with an externally measured
 // duration and byte volume.
 func (o *Op) Observe(d time.Duration, bytes int64) {
@@ -320,7 +329,13 @@ type Span struct {
 	tr    *Tracer
 	id    uint64
 	track uint64
+	qid   uint64 // query trace id; inherited by children (0 = none)
 }
+
+// SpanID returns the span's trace event id (0 when no tracer is
+// attached or the span is the zero span). Clients send it on the wire
+// as the query's parent span so cross-process traces can be stitched.
+func (s Span) SpanID() uint64 { return s.id }
 
 // Registry returns the registry the span records to (nil for the zero
 // span), letting deep layers resolve additional ops without threading
@@ -367,7 +382,7 @@ func (s Span) child(op *Op, fork bool) Span {
 	if op == nil {
 		return Span{}
 	}
-	c := Span{op: op, start: op.reg.now()}
+	c := Span{op: op, start: op.reg.now(), qid: s.qid}
 	if tr := op.reg.tracer.Load(); tr != nil {
 		var parent, track uint64
 		if s.tr == tr { // inherit context only within the same trace
@@ -378,7 +393,7 @@ func (s Span) child(op *Op, fork bool) Span {
 		}
 		c.tr = tr
 		c.track = track
-		c.id = tr.Begin(op.name, c.start, parent, track)
+		c.id = tr.BeginQuery(op.name, c.start, parent, track, s.qid)
 	}
 	return c
 }

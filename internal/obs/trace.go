@@ -26,6 +26,7 @@ type Event struct {
 	ID     uint64 // span id; begin/end edges of one span share it
 	Parent uint64 // parent span id (0 for roots), set on begin edges
 	Track  uint64 // rendering lane (Chrome tid); 0 is the main track
+	Qid    uint64 // query trace id the span is attributed to (0 = none)
 }
 
 // Tracer records span begin/end events into a bounded ring buffer. It
@@ -70,11 +71,19 @@ func (t *Tracer) NewTrack() uint64 {
 // Begin records the begin edge of a span and returns its id. parent is
 // the enclosing span's id (0 for a root); track is the rendering lane.
 func (t *Tracer) Begin(name string, ts int64, parent, track uint64) uint64 {
+	return t.BeginQuery(name, ts, parent, track, 0)
+}
+
+// BeginQuery is Begin with the span attributed to a query trace id
+// (see QueryID): the exported Chrome event carries the id in its args,
+// which is what lets trace-merge stitch the client's and the server's
+// spans of one query into a single timeline.
+func (t *Tracer) BeginQuery(name string, ts int64, parent, track, qid uint64) uint64 {
 	if t == nil {
 		return 0
 	}
 	id := t.nextID.Add(1)
-	t.append(Event{Name: name, Begin: true, Ts: ts, ID: id, Parent: parent, Track: track})
+	t.append(Event{Name: name, Begin: true, Ts: ts, ID: id, Parent: parent, Track: track, Qid: qid})
 	return id
 }
 
@@ -136,6 +145,12 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  uint64         `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+
+	// Flow-event fields, used only by MergeChromeTraces to draw arrows
+	// between the client's and the server's spans of one query.
+	Cat       string `json:"cat,omitempty"`
+	FlowID    string `json:"id,omitempty"`
+	BindPoint string `json:"bp,omitempty"`
 }
 
 type chromeTrace struct {
@@ -182,6 +197,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ce.Args = map[string]any{"span": e.ID}
 			if e.Parent != 0 {
 				ce.Args["parent"] = e.Parent
+			}
+			if e.Qid != 0 {
+				// Hex string, not a number: 64-bit ids lose precision in
+				// float64 JSON decoders, and trace-merge matches on this.
+				ce.Args["qid"] = QueryID{Trace: e.Qid}.String()
 			}
 		} else {
 			ce.Ph = "E"

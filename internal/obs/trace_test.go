@@ -328,6 +328,70 @@ func TestConcurrentForksDisjointTracks(t *testing.T) {
 	}
 }
 
+// TestTracerConcurrentAtCapacity hammers Begin/End across forked tracks
+// with exactly one ring's worth of surviving events: 8 goroutines × 16
+// spans × 2 edges = 256 appended against capacity 128. Under -race this
+// pins the wraparound bookkeeping — the surviving window is exactly the
+// capacity, Dropped() accounts for precisely the overwritten remainder,
+// and no event is lost or double-counted in between.
+func TestTracerConcurrentAtCapacity(t *testing.T) {
+	const (
+		capacity  = 128
+		workers   = 8
+		spansEach = 16
+	)
+	tr := NewTracer(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			track := tr.NewTrack()
+			for i := 0; i < spansEach; i++ {
+				id := tr.BeginQuery("span", int64(i), 0, track, uint64(w+1))
+				tr.End("span", int64(i)+1, id, track)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	appended := workers * spansEach * 2
+	evs := tr.Events()
+	if len(evs) != capacity {
+		t.Fatalf("surviving events = %d, want exactly capacity %d", len(evs), capacity)
+	}
+	if got, want := tr.Dropped(), int64(appended-capacity); got != want {
+		t.Fatalf("Dropped() = %d, want %d (%d appended - %d kept)", got, want, appended, capacity)
+	}
+	// Every surviving event is intact: a real span id, and begin edges
+	// carry the worker's qid.
+	for _, e := range evs {
+		if e.ID == 0 {
+			t.Fatal("surviving event lost its span id")
+		}
+		if e.Begin && (e.Qid < 1 || e.Qid > workers) {
+			t.Fatalf("begin edge qid = %d, want 1..%d", e.Qid, workers)
+		}
+	}
+	// The export still balances (half-spans from wraparound are dropped).
+	doc := decodeTrace(t, tr)
+	begins, ends := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+			if e.Args["qid"] == nil {
+				t.Error("exported begin edge lost its qid arg")
+			}
+		case "E":
+			ends++
+		}
+	}
+	if begins != ends {
+		t.Errorf("unbalanced export: %d B vs %d E", begins, ends)
+	}
+}
+
 // TestTracerNilSafe pins the no-op contract of the nil tracer.
 func TestTracerNilSafe(t *testing.T) {
 	var tr *Tracer

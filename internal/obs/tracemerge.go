@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// TraceInput is one process's Chrome trace JSON (as written by
+// Tracer.WriteChromeTrace) for MergeChromeTraces.
+type TraceInput struct {
+	Name string // process name in the merged trace ("client", "borad", ...)
+	Data []byte
+}
+
+// MergeChromeTraces stitches the traces of several processes into one
+// Chrome trace-event JSON document: input i's events are remapped to
+// process id i+1 (with Name as the process_name metadata), and spans
+// that carry the same query trace id ("qid" in their args, see
+// Tracer.BeginQuery) are connected across processes with flow events,
+// so one end-to-end query reads as client span → arrow → server span.
+//
+// Tracer timestamps are relative to each process's registry epoch, so
+// the raw timelines of two processes are not comparable. When align is
+// true (the normal case) every input after the first is shifted so
+// that its earliest span of a shared qid begins at the first input's
+// begin of that same qid — network delay then renders as a small
+// overlap instead of an arbitrary offset. Inputs sharing no qid with
+// the first are left unshifted.
+func MergeChromeTraces(w io.Writer, inputs []TraceInput, align bool) error {
+	type parsed struct {
+		name   string
+		events []chromeEvent
+		// firstQ maps qid -> earliest begin-edge timestamp (µs) of a
+		// span attributed to that query.
+		firstQ map[string]float64
+	}
+	ps := make([]parsed, 0, len(inputs))
+	for i, in := range inputs {
+		var tr chromeTrace
+		if err := json.Unmarshal(in.Data, &tr); err != nil {
+			return fmt.Errorf("obs: trace %d (%s): %w", i, in.Name, err)
+		}
+		p := parsed{name: in.Name, firstQ: map[string]float64{}}
+		for _, e := range tr.TraceEvents {
+			if e.Ph == "M" && e.Name == "process_name" {
+				continue // replaced by the per-input name below
+			}
+			if e.Ph == "B" {
+				if qid, ok := e.Args["qid"].(string); ok {
+					if t, seen := p.firstQ[qid]; !seen || e.Ts < t {
+						p.firstQ[qid] = e.Ts
+					}
+				}
+			}
+			p.events = append(p.events, e)
+		}
+		ps = append(ps, p)
+	}
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	stitched := 0
+	for i := range ps {
+		pid := i + 1
+		offset := 0.0
+		if align && i > 0 {
+			// Shift by the qid shared with input 0 that input 0 saw
+			// earliest, so multi-query traces anchor on the first query.
+			best := math.Inf(1)
+			for qid, t0 := range ps[0].firstQ {
+				if ti, ok := ps[i].firstQ[qid]; ok && t0 < best {
+					best = t0
+					offset = t0 - ti
+				}
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": ps[i].name},
+		})
+		for _, e := range ps[i].events {
+			e.Pid = pid
+			if e.Ph != "M" {
+				e.Ts += offset
+			}
+			out.TraceEvents = append(out.TraceEvents, e)
+		}
+		// Flow arrows: a qid first seen in an earlier input flows into
+		// this input's earliest span for it.
+		if i == 0 {
+			continue
+		}
+		qids := make([]string, 0, len(ps[i].firstQ))
+		for qid := range ps[i].firstQ {
+			qids = append(qids, qid)
+		}
+		sort.Strings(qids)
+		for _, qid := range qids {
+			src := -1
+			for j := 0; j < i; j++ {
+				if _, ok := ps[j].firstQ[qid]; ok {
+					src = j
+					break
+				}
+			}
+			if src < 0 {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "query", Ph: "s", Ts: ps[src].firstQ[qid], Pid: src + 1,
+					Args: map[string]any{"qid": qid}, Cat: "query", FlowID: qid},
+				chromeEvent{Name: "query", Ph: "f", Ts: ps[i].firstQ[qid] + offset, Pid: pid,
+					Args: map[string]any{"qid": qid}, Cat: "query", FlowID: qid, BindPoint: "e"},
+			)
+			stitched++
+		}
+	}
+	if stitched > 0 {
+		out.OtherData = map[string]any{"stitched_queries": stitched}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -59,6 +61,15 @@ type Options struct {
 	// MaxFrame bounds inbound frame payloads; zero selects
 	// wire.DefaultMaxFrame.
 	MaxFrame uint32
+	// QueryLog, when non-nil, receives one obs.QueryRecord per completed
+	// query stream (ok, error or canceled) — the slow-query log served
+	// at /slowqueries. Nil disables per-query logging; resource
+	// attribution still runs (it feeds spans either way).
+	QueryLog *obs.QueryLog
+	// Pprof mounts net/http/pprof under /debug/pprof/ on HTTPHandler's
+	// mux. Off by default: the profile endpoints can run CPU captures,
+	// so they are opt-in rather than ambient.
+	Pprof bool
 }
 
 // Server is a borad instance. Create with New, feed listeners to Serve,
@@ -68,6 +79,8 @@ type Server struct {
 	pl       *pool.Pool
 	maxFrame uint32
 	sem      chan struct{} // global query admission tokens
+	qlog     *obs.QueryLog // per-query records; nil = disabled
+	pprof    bool          // mount /debug/pprof/ on the sidecar
 
 	queryOp   *obs.Op      // server.query: one span per QUERY stream
 	reqOp     *obs.Op      // server.request: non-query request frames
@@ -107,6 +120,8 @@ func New(b *core.BORA, opts Options) *Server {
 		pl:        opts.Pool,
 		maxFrame:  opts.MaxFrame,
 		sem:       make(chan struct{}, opts.MaxQueries),
+		qlog:      opts.QueryLog,
+		pprof:     opts.Pprof,
 		queryOp:   reg.Op("server.query"),
 		reqOp:     reg.Op("server.request"),
 		accepted:  reg.Counter("server.conns_accepted"),
@@ -266,24 +281,49 @@ func (s *Server) Stats() wire.ServerStats {
 	return st
 }
 
+// readOnly guards a sidecar endpoint: every one of them is a read, so
+// anything but GET/HEAD answers 405 with an Allow header.
+func readOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // HTTPHandler returns the daemon's HTTP sidecar: /metrics serves the
 // backend registry's snapshot JSON (obs.SnapshotHandler), /healthz
 // answers 200 "ok" while serving and 503 "draining" once Shutdown has
-// begun, and /statz serves the wire.ServerStats JSON.
+// begun, /statz serves the wire.ServerStats JSON, and /slowqueries
+// serves the query log (obs.QueryLog.Handler; empty without one). All
+// endpoints are GET/HEAD only. With Options.Pprof the net/http/pprof
+// handlers mount under /debug/pprof/.
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.SnapshotHandler(s.b.Obs()))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/metrics", readOnly(obs.SnapshotHandler(s.b.Obs())))
+	mux.Handle("/healthz", readOnly(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.Handle("/statz", readOnly(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Stats())
-	})
+	})))
+	mux.Handle("/slowqueries", s.qlog.Handler())
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -332,7 +372,8 @@ type query struct {
 	cancel    context.CancelFunc
 	unlimited bool
 	avail     atomic.Int64
-	notify    chan struct{} // capacity 1; kicked on every credit grant
+	notify    chan struct{}    // capacity 1; kicked on every credit grant
+	aq        *obs.ActiveQuery // per-query resource attribution
 }
 
 // serve is the connection read loop: it dispatches request frames and,
@@ -472,6 +513,7 @@ func (c *conn) handleStats() error {
 // handleQuery admits (or BUSY-rejects) a query and starts its streaming
 // goroutine; the read loop goes back to consuming CREDIT/CANCEL frames.
 func (c *conn) handleQuery(payload []byte) error {
+	recv := time.Now()
 	req, err := wire.DecodeQuery(payload)
 	if err != nil {
 		return c.writeErr(err)
@@ -491,7 +533,12 @@ func (c *conn) handleQuery(payload []byte) error {
 		return c.busy("server query limit reached")
 	}
 	qctx, qcancel := context.WithCancel(c.ctx)
-	q := &query{ctx: qctx, cancel: qcancel, notify: make(chan struct{}, 1)}
+	// Per-query attribution: the ActiveQuery rides the context into
+	// core and the container's block cache. Two allocations (the struct
+	// and the context value) per query, zero per message.
+	aq := &obs.ActiveQuery{ID: obs.QueryID{Trace: req.TraceID, Parent: req.ParentSpan}}
+	qctx = obs.ContextWithQuery(qctx, aq)
+	q := &query{ctx: qctx, cancel: qcancel, notify: make(chan struct{}, 1), aq: aq}
 	if req.Window == 0 {
 		q.unlimited = true
 	} else {
@@ -500,7 +547,7 @@ func (c *conn) handleQuery(payload []byte) error {
 	c.cur = q
 	c.mu.Unlock()
 	c.s.queriesG.Add(1)
-	go c.runQuery(q, req)
+	go c.runQuery(q, req, recv)
 	return nil
 }
 
@@ -534,30 +581,43 @@ func (c *conn) cancelQuery() {
 }
 
 // waitCredit consumes one send credit, blocking until the client grants
-// more or the query dies.
+// more or the query dies. Time actually spent parked is charged to the
+// query's credit-stall attribution; the common non-blocking path stays
+// clock-free.
 func (q *query) waitCredit() error {
 	if q.unlimited {
 		return nil
 	}
+	if q.avail.Add(-1) >= 0 {
+		return nil
+	}
+	q.avail.Add(1) // undo; we did not get a credit
+	start := time.Now()
+	defer func() { q.aq.AddCreditStall(time.Since(start)) }()
 	for {
-		if q.avail.Add(-1) >= 0 {
-			return nil
-		}
-		q.avail.Add(1) // undo; we did not get a credit
 		select {
 		case <-q.ctx.Done():
 			return q.ctx.Err()
 		case <-q.notify:
 		}
+		if q.avail.Add(-1) >= 0 {
+			return nil
+		}
+		q.avail.Add(1)
 	}
 }
 
 // runQuery streams one QUERY: connection table, MSG frames under the
 // credit window, then END — or ERR, with a canceled query (client gone,
 // CANCEL frame, drain deadline) counted under server.query.canceled.
-func (c *conn) runQuery(q *query, req wire.QueryReq) {
+// recv is when the request frame was decoded; the gap to the first
+// streamed byte is the query's queue wait. Every completion — ok,
+// error, canceled — lands one record in the server's query log.
+func (c *conn) runQuery(q *query, req wire.QueryReq, recv time.Time) {
 	s := c.s
-	sp := s.queryOp.Start()
+	sp := s.queryOp.StartQuery(req.TraceID)
+	var count, bytes uint64
+	var qerr error
 	defer func() {
 		<-s.sem
 		s.queriesG.Add(-1)
@@ -566,11 +626,36 @@ func (c *conn) runQuery(q *query, req wire.QueryReq) {
 		c.cur = nil
 		closing := c.closeWhenDone
 		c.mu.Unlock()
+		if s.qlog != nil {
+			q.aq.Messages.Store(int64(count))
+			q.aq.Bytes.Store(int64(bytes))
+			rec := obs.QueryRecord{
+				Time:       time.Now(),
+				Bag:        req.Name,
+				Topics:     req.Topics,
+				Remote:     c.nc.RemoteAddr().String(),
+				Status:     "ok",
+				DurationNs: time.Since(recv).Nanoseconds(),
+			}
+			if req.Order == wire.OrderTime {
+				rec.Order = "time"
+			}
+			if qerr != nil {
+				rec.Status = "error"
+				rec.Error = qerr.Error()
+				if q.ctx.Err() != nil {
+					rec.Status = "canceled"
+				}
+			}
+			rec.Fill(q.aq)
+			s.qlog.Record(rec)
+		}
 		if closing {
 			c.close()
 		}
 	}()
 	fail := func(err error) {
+		qerr = err
 		if q.ctx.Err() != nil {
 			s.canceledC.Inc()
 			// Best effort: the usual cause is a vanished peer.
@@ -610,14 +695,17 @@ func (c *conn) runQuery(q *query, req wire.QueryReq) {
 		idx[t] = uint16(i)
 	}
 	if err := c.writeFrame(wire.OpQueryHdr, wire.EncodeQueryHdr(metas)); err != nil {
+		qerr = err
 		sp.EndErr(err)
 		return
 	}
+	// First byte streamed: everything before this — admission, pool
+	// acquire, metadata assembly — is the query's queue wait.
+	q.aq.QueueWaitNs.Store(time.Since(recv).Nanoseconds())
 	spec := core.QuerySpec{Topics: req.Topics, Start: req.Start, End: req.End}
 	if req.Order == wire.OrderTime {
 		spec.Order = core.OrderTime
 	}
-	var count, bytes uint64
 	err = bag.QuerySpanContext(q.ctx, sp, spec, func(m core.MessageRef) error {
 		if err := q.waitCredit(); err != nil {
 			return err
@@ -636,6 +724,7 @@ func (c *conn) runQuery(q *query, req wire.QueryReq) {
 		return
 	}
 	if err := c.writeFrame(wire.OpEnd, wire.EncodeEnd(wire.End{Count: count, Bytes: bytes})); err != nil {
+		qerr = err
 		sp.EndErr(err)
 		return
 	}

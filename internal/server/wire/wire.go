@@ -332,6 +332,18 @@ type QueryReq struct {
 	// MSG frames beyond what the client has acknowledged with CREDIT
 	// grants. Zero disables flow control (unbounded).
 	Window uint32
+	// TraceID and ParentSpan carry the client's query identity for
+	// cross-process observability (obs.QueryID): the server tags its
+	// spans and slow-query records with them so client and server traces
+	// stitch into one timeline. They ride in an optional trailing block
+	// of the frame — present only when TraceID != 0 — which is what
+	// keeps the two directions of version skew working: an untraced
+	// frame is byte-identical to the pre-TraceID format, an old server
+	// ignores the trailing bytes of a traced frame (the decoder never
+	// rejected oversize payloads), and an old client simply never sends
+	// them.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // EncodeQuery renders a QUERY payload.
@@ -346,6 +358,10 @@ func EncodeQuery(q QueryReq) []byte {
 	e.time(q.End)
 	e.u8(q.Order)
 	e.u32(q.Window)
+	if q.TraceID != 0 {
+		e.u64(q.TraceID)
+		e.u64(q.ParentSpan)
+	}
 	return e.b
 }
 
@@ -365,6 +381,11 @@ func DecodeQuery(p []byte) (QueryReq, error) {
 	q.End = d.time()
 	q.Order = d.u8()
 	q.Window = d.u32()
+	if !d.fail && d.off < len(d.b) {
+		// Optional trailing trace block (newer clients only).
+		q.TraceID = d.u64()
+		q.ParentSpan = d.u64()
+	}
 	if q.Order > OrderTime {
 		return QueryReq{}, fmt.Errorf("wire: unknown order %d", q.Order)
 	}

@@ -106,6 +106,67 @@ func TestQueryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestQueryTraceVersioning pins the trailing-optional-field versioning
+// of the QUERY payload: an untraced request encodes byte-identically to
+// the pre-TraceID format, a traced one round-trips its identity, and a
+// decoder handed an old-format frame leaves the trace fields zero.
+func TestQueryTraceVersioning(t *testing.T) {
+	base := QueryReq{
+		Name:   "robot1",
+		Topics: []string{"/imu"},
+		Start:  bagio.Time{Sec: 100},
+		End:    bagio.Time{Sec: 200},
+		Window: 64,
+	}
+
+	// Old-format rendering, assembled by hand: the frame a pre-TraceID
+	// client would send. The untraced encoder must match it byte for
+	// byte.
+	var e enc
+	e.str(base.Name)
+	e.u16(1)
+	e.str("/imu")
+	e.time(base.Start)
+	e.time(base.End)
+	e.u8(base.Order)
+	e.u32(base.Window)
+	old := e.b
+	if got := EncodeQuery(base); !bytes.Equal(got, old) {
+		t.Errorf("untraced encoding differs from the old format:\n got %x\nwant %x", got, old)
+	}
+
+	// An old-format frame decodes with zero trace identity.
+	got, err := DecodeQuery(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.ParentSpan != 0 {
+		t.Errorf("old frame decoded trace %d/%d, want 0/0", got.TraceID, got.ParentSpan)
+	}
+
+	// A traced frame is strictly longer and round-trips the identity.
+	traced := base
+	traced.TraceID = 0xdeadbeefcafe
+	traced.ParentSpan = 42
+	payload := EncodeQuery(traced)
+	if len(payload) != len(old)+16 {
+		t.Errorf("traced payload %d bytes, want old %d + 16", len(payload), len(old))
+	}
+	got, err = DecodeQuery(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, traced) {
+		t.Errorf("traced round-trip: got %+v, want %+v", got, traced)
+	}
+
+	// A truncated trace block (half a u64) is a malformed frame, not a
+	// silent fallback.
+	if _, err := DecodeQuery(payload[:len(old)+4]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("half trace block: err = %v, want ErrTruncated", err)
+	}
+}
+
 func TestPayloadRoundTrips(t *testing.T) {
 	conns := []ConnMeta{{Topic: "/imu", Type: "sensor_msgs/Imu"}, {Topic: "/tf", Type: "tf/tfMessage"}}
 	gotConns, err := DecodeQueryHdr(EncodeQueryHdr(conns))
