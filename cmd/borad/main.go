@@ -9,11 +9,20 @@
 //	borad -backend DIR [-listen ADDR] [-http ADDR] [-pool=false]
 //	      [-max-queries N] [-drain DUR] [-slow DUR] [-slowlog FILE]
 //	      [-querylog N] [-trace FILE] [-pprof]
+//	      [-cluster FILE -node NAME] [-hot-qps QPS]
 //
 // Flags:
 //
 //	-backend DIR    BORA back-end directory to serve (required)
 //	-listen ADDR    TCP listen address for the wire protocol (default :7712)
+//	-cluster FILE   membership file ("name addr" lines) naming every borad
+//	                of the cluster; all of them must serve the same shared
+//	                back end. The daemon only validates its own entry and
+//	                logs the ring — placement lives client-side.
+//	-node NAME      this daemon's member name in -cluster (required with it)
+//	-hot-qps QPS    per-bag query rate past which a bag reads as hot:
+//	                reported in /statz hot_bags and protected from handle
+//	                eviction (default 8, negative disables)
 //	-http ADDR      optional HTTP sidecar: /metrics (obs snapshot JSON),
 //	                /healthz (200 ok / 503 draining), /statz (server
 //	                stats), /slowqueries (the query log)
@@ -48,11 +57,49 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster/ring"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/server"
 )
+
+// validateCluster checks the -cluster/-node pairing early: the
+// membership file must parse, build a ring, and contain this daemon.
+// Placement itself lives client-side — the daemon just refuses to boot
+// into a cluster that cannot agree on who it is.
+func validateCluster(cfg config) error {
+	if cfg.cluster == "" {
+		if cfg.node != "" {
+			return fmt.Errorf("-node %q given without -cluster", cfg.node)
+		}
+		return nil
+	}
+	if cfg.node == "" {
+		return fmt.Errorf("-cluster requires -node (this daemon's member name)")
+	}
+	members, err := ring.LoadMembers(cfg.cluster)
+	if err != nil {
+		return fmt.Errorf("-cluster: %w", err)
+	}
+	r, err := ring.New(members, 0)
+	if err != nil {
+		return fmt.Errorf("-cluster: %w", err)
+	}
+	self, ok := ring.Find(members, cfg.node)
+	if !ok {
+		return fmt.Errorf("-node %q is not in %s", cfg.node, cfg.cluster)
+	}
+	fmt.Fprintf(os.Stderr, "borad: cluster member %s (%s), %d-node ring:\n", self.Name, self.Addr, r.Len())
+	for _, m := range r.Members() {
+		marker := " "
+		if m.Name == self.Name {
+			marker = "*"
+		}
+		fmt.Fprintf(os.Stderr, "borad:  %s %s %s\n", marker, m.Name, m.Addr)
+	}
+	return nil
+}
 
 // config collects borad's flag values.
 type config struct {
@@ -67,6 +114,9 @@ type config struct {
 	querylog   int
 	trace      string
 	pprof      bool
+	cluster    string
+	node       string
+	hotQPS     float64
 }
 
 func main() {
@@ -82,6 +132,9 @@ func main() {
 	flag.IntVar(&cfg.querylog, "querylog", 0, "completed-query records kept for /slowqueries (0 = default)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a Chrome trace JSON to FILE on exit")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof on the -http sidecar")
+	flag.StringVar(&cfg.cluster, "cluster", "", "cluster membership file (\"name addr\" lines)")
+	flag.StringVar(&cfg.node, "node", "", "this daemon's member name in -cluster")
+	flag.Float64Var(&cfg.hotQPS, "hot-qps", 0, "per-bag hot threshold in QPS (0 = default 8, negative disables)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "borad:", err)
@@ -92,6 +145,9 @@ func main() {
 func run(cfg config) error {
 	if cfg.backend == "" {
 		return fmt.Errorf("-backend is required")
+	}
+	if err := validateCluster(cfg); err != nil {
+		return err
 	}
 	reg := obs.NewRegistry()
 	var tracer *obs.Tracer
@@ -119,9 +175,18 @@ func run(cfg config) error {
 	}
 	qlog := obs.NewQueryLog(cfg.querylog, cfg.slow, slowSink)
 
-	opts := server.Options{MaxQueries: cfg.maxQueries, QueryLog: qlog, Pprof: cfg.pprof}
+	// One tracker shared between server and pool: the same per-bag rate
+	// drives the hot_bags stat and hot-handle eviction protection.
+	var hot *obs.RateTracker
+	if cfg.hotQPS >= 0 {
+		hot = obs.NewRateTracker(0, 0)
+	}
+	opts := server.Options{
+		MaxQueries: cfg.maxQueries, QueryLog: qlog, Pprof: cfg.pprof,
+		Hot: hot, HotQPS: cfg.hotQPS,
+	}
 	if cfg.usePool {
-		opts.Pool = pool.New(b, pool.Options{})
+		opts.Pool = pool.New(b, pool.Options{HotTracker: hot, HotQPS: cfg.hotQPS})
 	}
 	srv := server.New(b, opts)
 

@@ -18,9 +18,11 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -42,6 +44,29 @@ const (
 // ErrBusy wraps the server's typed BUSY reject; surfaced only after
 // the retry budget is spent. Test with errors.Is.
 var ErrBusy = errors.New("client: server busy")
+
+// ServerError is a request failure the server reported in an ERR frame.
+// The connection's framing stayed intact, and — unlike a transport
+// error — retrying elsewhere will not help: every daemon of a cluster
+// serves the same shared back end, so "unknown topic" is "unknown
+// topic" everywhere. The one exception is a server-side cancellation
+// ("query canceled": the daemon was draining or dying mid-stream),
+// which the cluster layer treats as retryable; see Canceled.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// serverCanceledMsg is the exact ERR payload internal/server writes
+// when a query's context dies server-side (drain deadline, daemon
+// shutdown). It marks the only ServerError worth failing over on.
+const serverCanceledMsg = "query canceled"
+
+// Canceled reports whether the error is the server telling us it
+// canceled the query on its side — the daemon is draining or dying, so
+// another replica may well complete the work.
+func (e *ServerError) Canceled() bool { return e.Msg == serverCanceledMsg }
 
 // ErrStreamActive rejects requests issued while a query stream is
 // being consumed on the same connection.
@@ -94,13 +119,30 @@ func (o *Options) fill() {
 	}
 }
 
-// backoff returns the sleep before attempt i (i ≥ 1).
+// backoff returns the sleep before attempt i (i ≥ 1): exponential in i
+// with equal jitter, uniform in [cap/2, cap] where cap = Backoff<<(i-1)
+// bounded by BackoffMax. The jitter keeps a fleet of clients that all
+// hit the same BUSY daemon from re-converging on it in lockstep; the
+// cap keeps the bounds testable (see TestBackoffJitterBounds).
 func (o *Options) backoff(i int) time.Duration {
 	d := o.Backoff << (i - 1)
 	if d > o.BackoffMax || d <= 0 {
 		d = o.BackoffMax
 	}
-	return d
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)+1))
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Client is one connection to a borad daemon. Methods are safe for
@@ -120,15 +162,25 @@ type Client struct {
 }
 
 // Dial connects to a borad daemon, retrying failed connects
-// opts.Attempts times with exponential backoff.
+// opts.Attempts times with jittered exponential backoff.
 func Dial(addr string, opts Options) (*Client, error) {
+	return DialContext(context.Background(), addr, opts)
+}
+
+// DialContext is Dial bounded by ctx: cancellation aborts both the
+// in-flight connect and — crucially for failover latency — the backoff
+// sleeps between attempts, returning promptly with ctx's error.
+func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	opts.fill()
 	var lastErr error
 	for i := 0; i < opts.Attempts; i++ {
 		if i > 0 {
-			time.Sleep(opts.backoff(i))
+			if err := sleepCtx(ctx, opts.backoff(i)); err != nil {
+				return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, err, i)
+			}
 		}
-		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		d := net.Dialer{Timeout: opts.DialTimeout}
+		nc, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return &Client{
 				addr:    addr,
@@ -139,9 +191,15 @@ func Dial(addr string, opts Options) (*Client, error) {
 			}, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			break // canceled mid-connect: don't burn remaining attempts
+		}
 	}
 	return nil, fmt.Errorf("client: dial %s: %w (after %d attempts)", addr, lastErr, opts.Attempts)
 }
+
+// Addr returns the address the client dialed.
+func (c *Client) Addr() string { return c.addr }
 
 // Close tears the connection down. Closing with a stream in flight
 // aborts it server-side (the daemon observes the disconnect and cancels
@@ -186,7 +244,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (wire.Frame, error) {
 	}
 	switch f.Op {
 	case wire.OpErr:
-		return wire.Frame{}, fmt.Errorf("client: server error: %s", f.Payload)
+		return wire.Frame{}, &ServerError{Msg: string(f.Payload)}
 	case wire.OpBusy:
 		return wire.Frame{}, fmt.Errorf("%w: %s", ErrBusy, f.Payload)
 	}
@@ -462,7 +520,7 @@ func (st *Stream) Next() bool {
 	case wire.OpErr:
 		// A terminal ERR ends the stream cleanly: the framing is
 		// intact, the connection stays usable.
-		st.err = fmt.Errorf("client: server error: %s", f.Payload)
+		st.err = &ServerError{Msg: string(f.Payload)}
 		st.finish()
 		return false
 	default:

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync/atomic"
@@ -47,6 +48,112 @@ func TestDialFailsAfterAttempts(t *testing.T) {
 	// 3 attempts with 1ms + 2ms backoff: fast, but it must have slept.
 	if d := time.Since(start); d > 2*time.Second {
 		t.Errorf("Dial took %v; backoff not capped", d)
+	}
+}
+
+// TestBackoffJitterBounds: the jittered exponential backoff must stay
+// inside [cap/2, cap] where cap doubles per attempt and saturates at
+// BackoffMax — the bounds the cluster rotation loop's latency math
+// depends on.
+func TestBackoffJitterBounds(t *testing.T) {
+	o := Options{Backoff: 10 * time.Millisecond, BackoffMax: 60 * time.Millisecond}
+	o.fill()
+	tests := []struct {
+		attempt int
+		lo, hi  time.Duration
+	}{
+		{1, 5 * time.Millisecond, 10 * time.Millisecond},
+		{2, 10 * time.Millisecond, 20 * time.Millisecond},
+		{3, 20 * time.Millisecond, 40 * time.Millisecond},
+		{4, 30 * time.Millisecond, 60 * time.Millisecond}, // 80ms cap -> BackoffMax
+		{9, 30 * time.Millisecond, 60 * time.Millisecond}, // shift overflow -> BackoffMax
+		{40, 30 * time.Millisecond, 60 * time.Millisecond},
+		{64, 30 * time.Millisecond, 60 * time.Millisecond}, // 1<<63 territory
+	}
+	for _, tt := range tests {
+		for trial := 0; trial < 200; trial++ {
+			d := o.backoff(tt.attempt)
+			if d < tt.lo || d > tt.hi {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", tt.attempt, d, tt.lo, tt.hi)
+			}
+		}
+	}
+	// The jitter must actually jitter: 200 samples of a 30ms-wide range
+	// collapsing to one value means the randomness is gone.
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 200; trial++ {
+		seen[o.backoff(4)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("backoff(4) returned a single value across 200 samples; jitter lost")
+	}
+}
+
+// TestDialContextCancelDuringBackoff: canceling the context while Dial
+// sleeps between attempts must return promptly — not after the full
+// backoff schedule.
+func TestDialContextCancelDuringBackoff(t *testing.T) {
+	// A port that refuses connections, so every attempt fails fast and
+	// Dial spends its time in backoff sleeps.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := DialContext(ctx, addr, Options{
+			Attempts: 10,
+			Backoff:  2 * time.Second, // without the fix this dial blocks ~18s+
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let it fail attempt 1 and enter backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("Dial returned after %v; cancellation did not interrupt backoff", d)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("DialContext ignored cancellation during backoff")
+	}
+}
+
+// TestServerErrorTyped: ERR frames surface as *ServerError so the
+// cluster layer can tell deterministic failures from transport faults.
+func TestServerErrorTyped(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			if _, err := wire.ReadFrame(nc, 0); err != nil {
+				return
+			}
+			wire.WriteFrame(nc, wire.OpErr, []byte("unknown topic \"/nope\""))
+		}
+	})
+	cl, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Open("b")
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *ServerError", err, err)
+	}
+	if se.Canceled() {
+		t.Error("semantic server error classified as canceled")
+	}
+	if (&ServerError{Msg: "query canceled"}).Canceled() != true {
+		t.Error("cancellation ERR not classified as canceled")
 	}
 }
 

@@ -1,0 +1,83 @@
+// Membership file parsing. A cluster's membership is static
+// configuration (gossip can come later): one file, distributed to every
+// daemon and client, whose content fully determines placement.
+package ring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseMembers reads a membership list: one "name addr" pair per line,
+// whitespace-separated, with blank lines and #-comments ignored.
+//
+//	# borad cluster membership
+//	node1 10.0.0.1:7712
+//	node2 10.0.0.2:7712
+//	node3 10.0.0.3:7712
+//
+// Order in the file is irrelevant (the ring canonicalizes by name), so
+// operators can append without reshuffling placement.
+func ParseMembers(r io.Reader) ([]Member, error) {
+	var members []Member
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ring: members line %d: want \"name addr\", got %q", line, text)
+		}
+		members = append(members, Member{Name: fields[0], Addr: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: membership is empty")
+	}
+	seen := make(map[string]struct{}, len(members))
+	addrs := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if _, ok := seen[m.Name]; ok {
+			return nil, fmt.Errorf("ring: duplicate member name %q", m.Name)
+		}
+		if _, ok := addrs[m.Addr]; ok {
+			return nil, fmt.Errorf("ring: duplicate member addr %q", m.Addr)
+		}
+		seen[m.Name] = struct{}{}
+		addrs[m.Addr] = struct{}{}
+	}
+	return members, nil
+}
+
+// LoadMembers reads a membership file (see ParseMembers).
+func LoadMembers(path string) ([]Member, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	members, err := ParseMembers(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return members, nil
+}
+
+// Find returns the member with the given name, if present.
+func Find(members []Member, name string) (Member, bool) {
+	for _, m := range members {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Member{}, false
+}

@@ -1,0 +1,207 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func mustRing(t *testing.T, members []Member, vnodes int) *Ring {
+	t.Helper()
+	r, err := New(members, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func genMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{Name: fmt.Sprintf("node%02d", i), Addr: fmt.Sprintf("10.0.0.%d:7712", i+1)}
+	}
+	return ms
+}
+
+// TestRingProperties drives random memberships through the three
+// placement invariants the cluster client depends on:
+//
+//  1. replica sets always hold min(R, N) distinct members,
+//  2. placement is insensitive to membership-list order, and
+//  3. removing (or adding) one member moves at most ~K/N of the keys —
+//     consistent hashing's whole point.
+func TestRingProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	const keys = 2000
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.IntN(9) // 2..10 members
+		members := genMembers(n)
+		r := mustRing(t, members, 0)
+
+		// Distinctness and width at every plausible R.
+		for _, rf := range []int{1, 2, 3, n, n + 3} {
+			want := rf
+			if want > n {
+				want = n
+			}
+			for k := 0; k < 50; k++ {
+				set := r.ReplicasFor(fmt.Sprintf("bag-%d-%d", trial, k), rf)
+				if len(set) != want {
+					t.Fatalf("n=%d R=%d: replica set has %d members, want %d", n, rf, len(set), want)
+				}
+				seen := map[string]bool{}
+				for _, m := range set {
+					if seen[m.Name] {
+						t.Fatalf("n=%d R=%d: duplicate member %s in replica set", n, rf, m.Name)
+					}
+					seen[m.Name] = true
+				}
+				if set[0] != r.Owner(fmt.Sprintf("bag-%d-%d", trial, k)) {
+					t.Fatalf("primary replica disagrees with Owner")
+				}
+			}
+		}
+
+		// Order insensitivity: a shuffled membership list places keys
+		// identically.
+		shuffled := append([]Member(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2 := mustRing(t, shuffled, 0)
+		for k := 0; k < 200; k++ {
+			key := fmt.Sprintf("key-%d-%d", trial, k)
+			if r.Owner(key) != r2.Owner(key) {
+				t.Fatalf("placement depends on membership-list order for %q", key)
+			}
+		}
+
+		// Minimal movement: drop one member; only keys it owned may move.
+		if n < 3 {
+			continue
+		}
+		victim := members[rng.IntN(n)].Name
+		var survivors []Member
+		for _, m := range members {
+			if m.Name != victim {
+				survivors = append(survivors, m)
+			}
+		}
+		rs := mustRing(t, survivors, 0)
+		moved := 0
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("move-%d-%d", trial, k)
+			before, after := r.Owner(key), rs.Owner(key)
+			if before != after {
+				moved++
+				if before.Name != victim {
+					t.Fatalf("key %q moved %s->%s though %s left the ring", key, before.Name, after.Name, victim)
+				}
+			}
+		}
+		// Expected movement is keys/n; allow 2.5x slack for virtual-node
+		// variance at small n.
+		if limit := keys * 5 / (2 * n); moved > limit {
+			t.Errorf("n=%d: removing one member moved %d/%d keys, want <= %d (~K/N)", n, moved, keys, limit)
+		}
+	}
+}
+
+// TestRingBalance pins the load spread DefaultVNodes buys: across a
+// 5-node ring the busiest node carries at most ~1.35x the mean.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, genMembers(5), 0)
+	counts := map[string]int{}
+	const keys = 10000
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("bag%05d", k)).Name]++
+	}
+	mean := float64(keys) / 5
+	for name, c := range counts {
+		if ratio := float64(c) / mean; ratio > 1.35 || ratio < 0.65 {
+			t.Errorf("node %s owns %d keys (%.2fx mean); ring is unbalanced", name, c, ratio)
+		}
+	}
+}
+
+// TestRingGolden pins exact placements for a fixed membership. These
+// values are part of the deployment contract: clients and daemons built
+// from different checkouts must route identically, and a process
+// restart must not reshuffle a cluster. If this test breaks, the hash
+// or vnode layout changed and every deployed membership would re-place
+// — treat that as a wire-format revision, not a refactor.
+func TestRingGolden(t *testing.T) {
+	members := []Member{
+		{Name: "borad-a", Addr: "10.0.0.1:7712"},
+		{Name: "borad-b", Addr: "10.0.0.2:7712"},
+		{Name: "borad-c", Addr: "10.0.0.3:7712"},
+	}
+	r := mustRing(t, members, 0)
+	golden := map[string]string{
+		"robot0":  "borad-b,borad-a",
+		"robot1":  "borad-c,borad-b",
+		"robot2":  "borad-c,borad-b",
+		"robot3":  "borad-b,borad-a",
+		"robot4":  "borad-c,borad-a",
+		"mission": "borad-b,borad-a",
+	}
+	for key, want := range golden {
+		var names []string
+		for _, m := range r.ReplicasFor(key, 2) {
+			names = append(names, m.Name)
+		}
+		if got := strings.Join(names, ","); got != want {
+			t.Errorf("ReplicasFor(%q) = %s, want %s", key, got, want)
+		}
+	}
+	if h := hashString("robot0"); h != 0xb9b662c4241126f5 {
+		// Updating this constant means updating every golden above — and
+		// accepting that deployed clusters reshuffle.
+		t.Errorf("hashString(robot0) = %#x; placement hash contract broken", h)
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]Member{{Name: "a"}, {Name: "a"}}, 0); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := New([]Member{{Name: ""}}, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"basic", "a 1.2.3.4:1\nb 1.2.3.4:2\n", 2, false},
+		{"comments and blanks", "# hi\n\n  a 1.2.3.4:1\n\t\nb 1.2.3.4:2 \n", 2, false},
+		{"empty", "# only comments\n", 0, true},
+		{"malformed", "a\n", 0, true},
+		{"extra field", "a 1.2.3.4:1 extra\n", 0, true},
+		{"dup name", "a 1.2.3.4:1\na 1.2.3.4:2\n", 0, true},
+		{"dup addr", "a 1.2.3.4:1\nb 1.2.3.4:1\n", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ms, err := ParseMembers(strings.NewReader(tt.in))
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && len(ms) != tt.want {
+				t.Fatalf("parsed %d members, want %d", len(ms), tt.want)
+			}
+		})
+	}
+	if _, ok := Find([]Member{{Name: "a", Addr: "x"}}, "a"); !ok {
+		t.Error("Find missed a present member")
+	}
+	if _, ok := Find([]Member{{Name: "a", Addr: "x"}}, "b"); ok {
+		t.Error("Find found an absent member")
+	}
+}

@@ -1,0 +1,213 @@
+// Shard placement pre-validation: before standing up K borad daemons
+// over a shared Lustre back end, replay the intended workload against
+// the production placement ring (internal/cluster/ring — the very code
+// clients route with) and the platform cost model, and read off the
+// numbers the deployment bets on: per-node load balance, near-linear
+// query scaling with K, and whether hot-bag replica widening rescues a
+// zipf-skewed swarm. A sim run costs microseconds; a mis-sized cluster
+// costs a Tianhe allocation.
+
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/cluster/ring"
+)
+
+// ShardSim describes one placement scenario: K nodes, B bags, a query
+// workload, and the replication/widening policy under test.
+type ShardSim struct {
+	// Platform supplies the cost constants (nil selects NewLustre, the
+	// paper's swarm platform).
+	Platform *Lustre
+	// Nodes is K, the borad daemon count.
+	Nodes int
+	// Bags is the distinct bag count.
+	Bags int
+	// Replication is the ring replica-set width R (1..Nodes).
+	Replication int
+	// Queries is the total query count replayed.
+	Queries int
+	// BagBytes is the payload each query streams.
+	BagBytes int64
+	// Skew is the zipf exponent of per-bag traffic; 0 replays uniform
+	// traffic.
+	Skew float64
+	// HotWiden is the extra replicas a hot bag's set gains (0 disables
+	// widening — the control arm of the skew experiment).
+	HotWiden int
+	// HotFactor marks a bag hot when its traffic exceeds HotFactor x
+	// the mean per-bag count; zero selects 4.
+	HotFactor float64
+	// Seed drives the workload sampler; equal configs with equal seeds
+	// replay identically.
+	Seed uint64
+}
+
+// NodeLoad is one simulated node's share of the workload.
+type NodeLoad struct {
+	Name      string
+	Queries   int
+	ColdOpens int // bags this node pulled cold from the shared back end
+	Busy      time.Duration
+}
+
+// ShardResult summarizes one placement replay.
+type ShardResult struct {
+	PerNode []NodeLoad
+	// Imbalance is max/mean per-node query count — 1.0 is perfect.
+	Imbalance float64
+	// Makespan is when the last node finishes: the busiest node's
+	// serving time, floored by the shared back end's cold-read time.
+	Makespan time.Duration
+	// BackendFloor is the shared back end's portion alone: total cold
+	// bytes over the OSS aggregate bandwidth. Makespan pinned to this
+	// floor means the cluster is backend-bound and more nodes buy
+	// nothing.
+	BackendFloor time.Duration
+	// HotBags is how many bags crossed the hot threshold.
+	HotBags int
+}
+
+// Run replays the scenario, routing exactly as the cluster client
+// does: a cold bag's queries follow its ring primary (cache affinity,
+// the healthy-path policy — R is the failover set, not a load
+// balancer), while a hot bag's queries spread least-loaded across its
+// widened replica set (the client's round-robin over widened
+// candidates). A node serves a bag cold once (metadata open plus a
+// backend pull at OSS aggregate bandwidth, the bytes also charged to
+// the shared backend floor) and warm thereafter (NIC-bound from its
+// own cache) — cache affinity is exactly what placement exists to buy.
+func (s ShardSim) Run() (ShardResult, error) {
+	l := s.Platform
+	if l == nil {
+		l = NewLustre()
+	}
+	if err := l.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	if s.Nodes < 1 || s.Bags < 1 || s.Queries < 1 || s.BagBytes <= 0 {
+		return ShardResult{}, fmt.Errorf("cluster: shard sim needs nodes/bags/queries/bytes >= 1 (have %d/%d/%d/%d)",
+			s.Nodes, s.Bags, s.Queries, s.BagBytes)
+	}
+	if s.Replication < 1 || s.Replication > s.Nodes {
+		return ShardResult{}, fmt.Errorf("cluster: replication %d outside 1..%d", s.Replication, s.Nodes)
+	}
+	members := make([]ring.Member, s.Nodes)
+	for i := range members {
+		members[i] = ring.Member{Name: fmt.Sprintf("borad-%02d", i), Addr: fmt.Sprintf("10.0.0.%d:7712", i+1)}
+	}
+	r, err := ring.New(members, 0)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	nodeIdx := make(map[string]int, s.Nodes)
+	for i, m := range r.Members() {
+		nodeIdx[m.Name] = i
+	}
+
+	// Sample the workload: zipf-weighted (or uniform) bag picks.
+	weights := make([]float64, s.Bags)
+	cum := make([]float64, s.Bags)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1.0
+		if s.Skew > 0 {
+			weights[i] = 1 / math.Pow(float64(i+1), s.Skew)
+		}
+		total += weights[i]
+		cum[i] = total
+	}
+	rng := rand.New(rand.NewPCG(s.Seed, 0xb07a))
+	order := make([]int, s.Queries)
+	counts := make([]int, s.Bags)
+	for q := range order {
+		bag := sort.SearchFloat64s(cum, rng.Float64()*total)
+		if bag >= s.Bags {
+			bag = s.Bags - 1
+		}
+		order[q] = bag
+		counts[bag]++
+	}
+
+	// Hot set: the daemons' rate trackers see sustained traffic well
+	// above the mean; the sim's proxy is the final per-bag count.
+	hotFactor := s.HotFactor
+	if hotFactor <= 0 {
+		hotFactor = 4
+	}
+	hotAt := hotFactor * float64(s.Queries) / float64(s.Bags)
+	hot := make([]bool, s.Bags)
+	hotBags := 0
+	for i, c := range counts {
+		if s.HotWiden > 0 && float64(c) >= hotAt {
+			hot[i] = true
+			hotBags++
+		}
+	}
+
+	// Cost constants from the platform model.
+	aggBW := l.OSTDev.ReadBW * float64(l.OSS) // shared backend ceiling
+	nodeBW := l.Net.Bandwidth                 // per-node NIC serving warm traffic
+	coldOpen := (l.Net.RTT + l.MDSOpCost).Seconds()
+	warmOpen := l.Net.RTT.Seconds()
+	xferCold := float64(s.BagBytes) / aggBW
+	xferWarm := float64(s.BagBytes) / nodeBW
+
+	busy := make([]float64, s.Nodes)
+	queries := make([]int, s.Nodes)
+	colds := make([]int, s.Nodes)
+	warm := make([]bool, s.Bags*s.Nodes)
+	var backendBytes int64
+	for _, bag := range order {
+		rf := 1 // affinity: cold bags ride their primary
+		if hot[bag] {
+			rf = s.Replication + s.HotWiden
+		}
+		reps := r.ReplicasFor(fmt.Sprintf("bag%04d", bag), rf)
+		best := nodeIdx[reps[0].Name]
+		for _, m := range reps[1:] {
+			if i := nodeIdx[m.Name]; busy[i] < busy[best] {
+				best = i
+			}
+		}
+		queries[best]++
+		if !warm[bag*s.Nodes+best] {
+			warm[bag*s.Nodes+best] = true
+			colds[best]++
+			backendBytes += s.BagBytes
+			busy[best] += coldOpen + xferCold + xferWarm
+		} else {
+			busy[best] += warmOpen + xferWarm
+		}
+	}
+
+	res := ShardResult{PerNode: make([]NodeLoad, s.Nodes), HotBags: hotBags}
+	maxBusy, maxQ := 0.0, 0
+	for i, m := range r.Members() {
+		res.PerNode[i] = NodeLoad{
+			Name:      m.Name,
+			Queries:   queries[i],
+			ColdOpens: colds[i],
+			Busy:      time.Duration(busy[i] * float64(time.Second)),
+		}
+		if busy[i] > maxBusy {
+			maxBusy = busy[i]
+		}
+		if queries[i] > maxQ {
+			maxQ = queries[i]
+		}
+	}
+	res.Imbalance = float64(maxQ) * float64(s.Nodes) / float64(s.Queries)
+	res.BackendFloor = time.Duration(float64(backendBytes) / aggBW * float64(time.Second))
+	if floor := res.BackendFloor.Seconds(); floor > maxBusy {
+		maxBusy = floor
+	}
+	res.Makespan = time.Duration(maxBusy * float64(time.Second))
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import "testing"
+
+// base is the uniform-swarm scenario the scaling assertions replay.
+func base() ShardSim {
+	return ShardSim{
+		Nodes:       3,
+		Bags:        60,
+		Replication: 2,
+		Queries:     600,
+		BagBytes:    64 << 20,
+		Seed:        7,
+	}
+}
+
+func mustRun(t *testing.T, s ShardSim) ShardResult {
+	t.Helper()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardSimValidates rejects configurations a real cluster would
+// also refuse to boot with.
+func TestShardSimValidates(t *testing.T) {
+	bad := []func(*ShardSim){
+		func(s *ShardSim) { s.Nodes = 0 },
+		func(s *ShardSim) { s.Bags = 0 },
+		func(s *ShardSim) { s.Queries = 0 },
+		func(s *ShardSim) { s.BagBytes = 0 },
+		func(s *ShardSim) { s.Replication = 0 },
+		func(s *ShardSim) { s.Replication = s.Nodes + 1 },
+	}
+	for i, mutate := range bad {
+		s := base()
+		mutate(&s)
+		if _, err := s.Run(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestShardSimDeterministic: equal configs with equal seeds replay to
+// identical results — the property that makes a sim a pre-commit check
+// rather than a dice roll.
+func TestShardSimDeterministic(t *testing.T) {
+	a, b := mustRun(t, base()), mustRun(t, base())
+	if a.Makespan != b.Makespan || a.Imbalance != b.Imbalance {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.Makespan, a.Imbalance, b.Makespan, b.Imbalance)
+	}
+	for i := range a.PerNode {
+		if a.PerNode[i] != b.PerNode[i] {
+			t.Fatalf("node %d diverged: %+v vs %+v", i, a.PerNode[i], b.PerNode[i])
+		}
+	}
+	// A seed change must change the replay — checked under skew, where
+	// per-bag counts are sensitive to the sampler.
+	c, d := base(), base()
+	c.Skew, d.Skew = 1.2, 1.2
+	d.Seed = 8
+	rc, rd := mustRun(t, c), mustRun(t, d)
+	same := rc.Makespan == rd.Makespan
+	for i := range rc.PerNode {
+		same = same && rc.PerNode[i] == rd.PerNode[i]
+	}
+	if same {
+		t.Error("different seeds replayed identically; the sampler ignores Seed")
+	}
+}
+
+// TestShardSimBalance: uniform traffic over the production ring with
+// least-loaded replica choice lands within ~1.35x of perfect balance,
+// and every node pulls its share cold from the shared back end.
+func TestShardSimBalance(t *testing.T) {
+	res := mustRun(t, base())
+	if res.Imbalance > 1.35 {
+		t.Errorf("imbalance = %.2f, want <= 1.35", res.Imbalance)
+	}
+	for _, n := range res.PerNode {
+		if n.Queries == 0 {
+			t.Errorf("node %s served nothing", n.Name)
+		}
+		if n.ColdOpens == 0 {
+			t.Errorf("node %s never touched the back end", n.Name)
+		}
+	}
+}
+
+// TestShardSimNearLinearScaling is the pre-validation the cluster-swarm
+// bench later confirms on real daemons: K=3 must beat K=1 by well over
+// the 1.7x acceptance bar while the shared back end is not the floor.
+func TestShardSimNearLinearScaling(t *testing.T) {
+	k1 := base()
+	k1.Nodes, k1.Replication = 1, 1
+	r1 := mustRun(t, k1)
+	r3 := mustRun(t, base())
+	speedup := r1.Makespan.Seconds() / r3.Makespan.Seconds()
+	if speedup < 2.2 {
+		t.Errorf("K=3 speedup = %.2fx, want >= 2.2x (K=1 %v, K=3 %v)", speedup, r1.Makespan, r3.Makespan)
+	}
+	if r3.Makespan <= r3.BackendFloor {
+		t.Errorf("K=3 is backend-bound (makespan %v <= floor %v); the scenario proves nothing about node scaling",
+			r3.Makespan, r3.BackendFloor)
+	}
+}
+
+// TestShardSimHotWideningRescuesSkew: under zipf traffic a fixed-R
+// placement bottlenecks on the hot bags' replicas; widening their sets
+// must cut both imbalance and makespan.
+func TestShardSimHotWideningRescuesSkew(t *testing.T) {
+	skewed := ShardSim{
+		Nodes:       6,
+		Bags:        60,
+		Replication: 2,
+		Queries:     1200,
+		BagBytes:    64 << 20,
+		Skew:        1.2,
+		Seed:        7,
+	}
+	plain := mustRun(t, skewed)
+	widened := skewed
+	widened.HotWiden = 2
+	wres := mustRun(t, widened)
+
+	if wres.HotBags == 0 {
+		t.Fatal("zipf 1.2 produced no hot bags; the scenario is mis-sized")
+	}
+	if plain.HotBags != 0 {
+		t.Errorf("widening disabled but %d bags marked hot", plain.HotBags)
+	}
+	if wres.Imbalance >= plain.Imbalance {
+		t.Errorf("widening did not improve balance: %.2f -> %.2f", plain.Imbalance, wres.Imbalance)
+	}
+	if wres.Makespan >= plain.Makespan {
+		t.Errorf("widening did not improve makespan: %v -> %v", plain.Makespan, wres.Makespan)
+	}
+}

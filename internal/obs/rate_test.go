@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a RateTracker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(window time.Duration, buckets int) (*RateTracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewRateTracker(window, buckets)
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestRateTrackerWindowedRate(t *testing.T) {
+	tr, clk := newTestTracker(10*time.Second, 10)
+	for i := 0; i < 50; i++ {
+		tr.Note("hot")
+	}
+	tr.Note("cold")
+	if got := tr.Rate("hot"); got != 5.0 {
+		t.Errorf("Rate(hot) = %v, want 5.0 (50 events / 10s window)", got)
+	}
+	if got := tr.Rate("cold"); got != 0.1 {
+		t.Errorf("Rate(cold) = %v, want 0.1", got)
+	}
+	if got := tr.Rate("never"); got != 0 {
+		t.Errorf("Rate(never) = %v, want 0", got)
+	}
+
+	// Half a window later the events still count ...
+	clk.advance(5 * time.Second)
+	if got := tr.Rate("hot"); got != 5.0 {
+		t.Errorf("Rate(hot) after 5s = %v, want 5.0", got)
+	}
+	// ... a full window later they have rolled off.
+	clk.advance(6 * time.Second)
+	if got := tr.Rate("hot"); got != 0 {
+		t.Errorf("Rate(hot) after window = %v, want 0", got)
+	}
+}
+
+func TestRateTrackerAbove(t *testing.T) {
+	tr, clk := newTestTracker(10*time.Second, 10)
+	for i := 0; i < 100; i++ {
+		tr.Note("blazing")
+	}
+	for i := 0; i < 40; i++ {
+		tr.Note("warm")
+	}
+	tr.Note("cold")
+	hot := tr.Above(4.0)
+	if len(hot) != 2 || hot[0].Key != "blazing" || hot[1].Key != "warm" {
+		t.Fatalf("Above(4.0) = %+v, want [blazing warm]", hot)
+	}
+	if hot[0].Rate != 10.0 || hot[1].Rate != 4.0 {
+		t.Errorf("rates = %v/%v, want 10.0/4.0", hot[0].Rate, hot[1].Rate)
+	}
+
+	// Rolling past the window prunes, cooled keys disappear.
+	clk.advance(11 * time.Second)
+	if hot := tr.Above(0.0); len(hot) != 0 {
+		t.Errorf("Above after window = %+v, want empty", hot)
+	}
+	if got := tr.Rate("blazing"); got != 0 {
+		t.Errorf("pruned key rate = %v", got)
+	}
+}
+
+func TestRateTrackerPartialDecay(t *testing.T) {
+	tr, clk := newTestTracker(10*time.Second, 10)
+	for i := 0; i < 30; i++ {
+		tr.Note("k")
+	}
+	clk.advance(6 * time.Second)
+	for i := 0; i < 30; i++ {
+		tr.Note("k")
+	}
+	// Both bursts inside the window.
+	if got := tr.Rate("k"); got != 6.0 {
+		t.Errorf("Rate = %v, want 6.0", got)
+	}
+	// First burst rolls off, second remains.
+	clk.advance(5 * time.Second)
+	if got := tr.Rate("k"); got != 3.0 {
+		t.Errorf("Rate after partial decay = %v, want 3.0", got)
+	}
+}
+
+func TestRateTrackerBoundsKeys(t *testing.T) {
+	tr, _ := newTestTracker(10*time.Second, 10)
+	for i := 0; i < maxRateKeys+100; i++ {
+		tr.Note(fmt.Sprintf("bag%05d", i))
+	}
+	tr.mu.Lock()
+	n := len(tr.keys)
+	tr.mu.Unlock()
+	if n > maxRateKeys {
+		t.Errorf("tracker holds %d keys, cap is %d", n, maxRateKeys)
+	}
+}
+
+func TestRateTrackerNilSafe(t *testing.T) {
+	var tr *RateTracker
+	tr.Note("x") // must not panic
+	if tr.Rate("x") != 0 || tr.Above(0) != nil {
+		t.Error("nil tracker reported data")
+	}
+}
+
+func TestRateTrackerConcurrent(t *testing.T) {
+	tr, _ := newTestTracker(time.Second, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Note(fmt.Sprintf("bag%d", g%4))
+				if i%50 == 0 {
+					tr.Above(1)
+					tr.Rate("bag0")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

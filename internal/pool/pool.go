@@ -45,14 +45,29 @@ type Options struct {
 	// BlockSize is the cache's fixed block width; zero selects
 	// DefaultBlockSize.
 	BlockSize int64
+	// HotTracker, when non-nil, protects hot bags' handles from LRU
+	// eviction: entries whose query rate is at least HotQPS are skipped
+	// when the pool looks for a victim (unless every other entry is hot
+	// too). Share the server's tracker so "hot" means the same thing in
+	// Stats.HotBags and in eviction decisions.
+	HotTracker *obs.RateTracker
+	// HotQPS is the rate at which an entry reads as hot for eviction
+	// protection; zero selects DefaultHotQPS.
+	HotQPS float64
 }
+
+// DefaultHotQPS is the eviction-protection threshold when Options
+// provide a HotTracker without a rate.
+const DefaultHotQPS = 8.0
 
 // Pool serves shared open handles for one BORA back end. All methods
 // are safe for concurrent use.
 type Pool struct {
 	b       *core.BORA
 	maxBags int
-	blocks  *BlockLRU // nil when the block cache is disabled
+	blocks  *BlockLRU        // nil when the block cache is disabled
+	hot     *obs.RateTracker // nil when hot-handle protection is off
+	hotQPS  float64
 
 	acquireOp     *obs.Op
 	hits          *obs.Counter // pool.handle_hits
@@ -89,10 +104,15 @@ func New(b *core.BORA, opts Options) *Pool {
 	if opts.MaxBags <= 0 {
 		opts.MaxBags = DefaultMaxBags
 	}
+	if opts.HotQPS <= 0 {
+		opts.HotQPS = DefaultHotQPS
+	}
 	reg := b.Obs()
 	p := &Pool{
 		b:             b,
 		maxBags:       opts.MaxBags,
+		hot:           opts.HotTracker,
+		hotQPS:        opts.HotQPS,
 		acquireOp:     reg.Op("pool.acquire"),
 		hits:          reg.Counter("pool.handle_hits"),
 		misses:        reg.Counter("pool.handle_misses"),
@@ -221,9 +241,22 @@ func (p *Pool) entryFor(name string) *entry {
 	e.elem = p.lru.PushFront(e)
 	p.bags[name] = e
 	for len(p.bags) > p.maxBags {
-		back := p.lru.Back()
-		ev := back.Value.(*entry)
-		p.lru.Remove(back)
+		victim := p.lru.Back()
+		if p.hot != nil {
+			// Walk coldward-first past hot entries: a bag being hammered
+			// right now must not lose its shared handle to one cold open of
+			// something else. The front element (the entry just acquired) is
+			// never a victim; if every other entry is hot the plain LRU back
+			// goes anyway — protection bends the policy, it cannot wedge it.
+			for el := p.lru.Back(); el != nil && el != p.lru.Front(); el = el.Prev() {
+				if p.hot.Rate(el.Value.(*entry).name) < p.hotQPS {
+					victim = el
+					break
+				}
+			}
+		}
+		ev := victim.Value.(*entry)
+		p.lru.Remove(victim)
 		delete(p.bags, ev.name)
 		p.evictN++
 		p.evictions.Inc()

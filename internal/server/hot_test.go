@@ -1,0 +1,79 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+)
+
+// TestStatsReportsHotBags: queried traffic heats a bag through the
+// server's rate tracker and surfaces it in Stats.HotBags (and the
+// server.hot_bags gauge) once past the threshold.
+func TestStatsReportsHotBags(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := buildBackend(t, reg, 2, 5)
+	srv, addr := startServer(t, b, Options{HotQPS: 0.5}) // hot after ~5 queries in the 10s window
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if hb := srv.Stats().HotBags; len(hb) != 0 {
+		t.Fatalf("HotBags = %v before any traffic", hb)
+	}
+	for i := 0; i < 10; i++ {
+		st, err := cl.Query("robot1", client.QuerySpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for st.Next() {
+		}
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := srv.Stats()
+	if len(stats.HotBags) != 1 || stats.HotBags[0] != "robot1" {
+		t.Fatalf("HotBags = %v, want [robot1]", stats.HotBags)
+	}
+	if g := reg.Gauge("server.hot_bags").Load(); g != 1 {
+		t.Errorf("server.hot_bags gauge = %d, want 1", g)
+	}
+	// The wire STATS round-trip carries the list too.
+	remote, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.HotBags) != 1 || remote.HotBags[0] != "robot1" {
+		t.Errorf("remote HotBags = %v, want [robot1]", remote.HotBags)
+	}
+}
+
+// TestHotTrackingDisabled: a negative HotQPS turns the tracker off
+// entirely — no notes, no stats field.
+func TestHotTrackingDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := buildBackend(t, reg, 1, 3)
+	srv, addr := startServer(t, b, Options{HotQPS: -1})
+	if srv.hot != nil {
+		t.Fatal("HotQPS < 0 still built a tracker")
+	}
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		st, err := cl.Query("robot1", client.QuerySpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for st.Next() {
+		}
+	}
+	if hb := srv.Stats().HotBags; hb != nil {
+		t.Errorf("HotBags = %v with tracking disabled", hb)
+	}
+}

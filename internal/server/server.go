@@ -70,7 +70,21 @@ type Options struct {
 	// mux. Off by default: the profile endpoints can run CPU captures,
 	// so they are opt-in rather than ambient.
 	Pprof bool
+	// Hot, when non-nil, is the sliding-window tracker every QUERY's bag
+	// name is noted against — share one instance with the pool so hot
+	// bags are both reported (Stats.HotBags) and protected from handle
+	// eviction. Nil creates a private tracker; see HotQPS to disable.
+	Hot *obs.RateTracker
+	// HotQPS is the per-bag query rate at which a bag reads as hot in
+	// Stats; zero selects DefaultHotQPS, negative disables hot-bag
+	// tracking entirely.
+	HotQPS float64
 }
+
+// DefaultHotQPS is the per-bag QPS past which a bag is reported hot.
+// Deliberately lower than the cluster client's widening threshold: the
+// daemon flags warming traffic before clients must react to it.
+const DefaultHotQPS = 8.0
 
 // Server is a borad instance. Create with New, feed listeners to Serve,
 // stop with Shutdown (graceful) or Close (immediate).
@@ -81,6 +95,8 @@ type Server struct {
 	sem      chan struct{} // global query admission tokens
 	qlog     *obs.QueryLog // per-query records; nil = disabled
 	pprof    bool          // mount /debug/pprof/ on the sidecar
+	hot      *obs.RateTracker
+	hotQPS   float64
 
 	queryOp   *obs.Op      // server.query: one span per QUERY stream
 	reqOp     *obs.Op      // server.request: non-query request frames
@@ -89,6 +105,7 @@ type Server struct {
 	canceledC *obs.Counter // server.query.canceled
 	connsG    *obs.Gauge   // server.conns_active
 	queriesG  *obs.Gauge   // server.queries_active
+	hotG      *obs.Gauge   // server.hot_bags: bags above the hot threshold
 
 	served   atomic.Int64
 	draining atomic.Bool
@@ -113,6 +130,15 @@ func New(b *core.BORA, opts Options) *Server {
 	if opts.MaxFrame == 0 {
 		opts.MaxFrame = wire.DefaultMaxFrame
 	}
+	if opts.HotQPS == 0 {
+		opts.HotQPS = DefaultHotQPS
+	}
+	if opts.HotQPS > 0 && opts.Hot == nil {
+		opts.Hot = obs.NewRateTracker(0, 0)
+	}
+	if opts.HotQPS < 0 {
+		opts.Hot = nil
+	}
 	reg := b.Obs()
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -122,6 +148,9 @@ func New(b *core.BORA, opts Options) *Server {
 		sem:       make(chan struct{}, opts.MaxQueries),
 		qlog:      opts.QueryLog,
 		pprof:     opts.Pprof,
+		hot:       opts.Hot,
+		hotQPS:    opts.HotQPS,
+		hotG:      reg.Gauge("server.hot_bags"),
 		queryOp:   reg.Op("server.query"),
 		reqOp:     reg.Op("server.request"),
 		accepted:  reg.Counter("server.conns_accepted"),
@@ -278,8 +307,22 @@ func (s *Server) Stats() wire.ServerStats {
 		st.PoolMisses = ps.HandleMisses
 		st.PoolResident = int64(ps.HandlesResident)
 	}
+	if s.hot != nil {
+		hot := s.hot.Above(s.hotQPS)
+		if len(hot) > maxHotBagsReported {
+			hot = hot[:maxHotBagsReported]
+		}
+		for _, h := range hot {
+			st.HotBags = append(st.HotBags, h.Key)
+		}
+		s.hotG.Set(int64(len(st.HotBags)))
+	}
 	return st
 }
+
+// maxHotBagsReported caps Stats.HotBags: the stat is a skew signal,
+// not an inventory, and STATS answers should stay one small frame.
+const maxHotBagsReported = 16
 
 // readOnly guards a sidecar endpoint: every one of them is a read, so
 // anything but GET/HEAD answers 405 with an Allow header.
@@ -518,6 +561,10 @@ func (c *conn) handleQuery(payload []byte) error {
 	if err != nil {
 		return c.writeErr(err)
 	}
+	// Demand is demand: note the bag before admission so BUSY-rejected
+	// traffic still heats it — a saturated daemon is exactly when the
+	// hot signal matters most.
+	c.s.hot.Note(req.Name)
 	if c.s.draining.Load() {
 		return c.busy("server draining")
 	}
