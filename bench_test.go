@@ -54,6 +54,7 @@ func BenchmarkFig18SwarmTime(b *testing.B)    { benchExperiment(b, "fig18") }
 func BenchmarkAblationWindow(b *testing.B)    { benchExperiment(b, "ablation-window") }
 func BenchmarkAblationWorkers(b *testing.B)   { benchExperiment(b, "ablation-workers") }
 func BenchmarkAblationChunkSize(b *testing.B) { benchExperiment(b, "ablation-chunk") }
+func BenchmarkLiveTail(b *testing.B)          { benchExperiment(b, "live-tail") }
 
 // --- real micro-benchmarks of the core structures ---
 
@@ -185,7 +186,7 @@ func BenchmarkBoraQueryTopicReal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
-		err := bag.ReadMessages([]string{workload.TopicIMU}, func(core.MessageRef) error {
+		err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(core.MessageRef) error {
 			count++
 			return nil
 		})
@@ -203,7 +204,7 @@ func BenchmarkBoraTimeQueryReal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
-		err := bag.ReadMessagesTime([]string{workload.TopicIMU}, start, end, func(core.MessageRef) error {
+		err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}, Start: start, End: end}, func(core.MessageRef) error {
 			count++
 			return nil
 		})

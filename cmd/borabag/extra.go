@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/bagio"
@@ -74,7 +75,7 @@ func cmdRebag(args []string) error {
 	if err != nil {
 		return err
 	}
-	spec := core.FilterSpec{}
+	spec := core.QuerySpec{}
 	if *topicsArg != "" {
 		spec.Topics = strings.Split(*topicsArg, ",")
 	}
@@ -219,6 +220,9 @@ func cmdFsck(args []string) error {
 	if _, err := os.Stat(root); err != nil {
 		return fmt.Errorf("fsck: %w", err)
 	}
+	if _, err := os.Stat(filepath.Join(root, core.LiveMetaFileName)); err == nil {
+		return fsckLive(*backend, *name, root, *repair, *quiet)
+	}
 
 	sp := metricsReg.Op("fsck.scan").Start()
 	rep, err := container.Fsck(root)
@@ -264,4 +268,99 @@ func cmdFsck(args []string) error {
 	}
 	fmt.Printf("%s: repaired, now clean (%d topics)\n", root, after.Topics)
 	return nil
+}
+
+// fsckLive is cmdFsck over the live segmented layout: every seg-*
+// container is checked, and a bag abandoned mid-recording (a crashed
+// recorder left state=recording) is reported as damaged. -repair routes
+// through core.RepairLive, which truncates each segment to its
+// consistent indexed prefix and flips the live meta to complete.
+func fsckLive(backend, name, root string, repair, quiet bool) error {
+	segs, err := liveSegments(root)
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	b, err := openBackend(backend)
+	if err != nil {
+		return err
+	}
+	scan := func() (findings int, ferr error) {
+		for _, seg := range segs {
+			rep, err := container.Fsck(seg)
+			if err != nil {
+				return 0, fmt.Errorf("fsck: %s: %w", seg, err)
+			}
+			findings += len(rep.Findings)
+			if quiet {
+				continue
+			}
+			for _, f := range rep.Findings {
+				loc := f.Topic
+				if loc == "" {
+					loc = f.Path
+				}
+				fmt.Printf("%-22s %s %-32s %s\n", f.Kind, filepath.Base(seg), loc, f.Detail)
+			}
+		}
+		return findings, nil
+	}
+	findings, err := scan()
+	if err != nil {
+		return err
+	}
+	_, recording, err := b.ProbeBag(name)
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	if b.LiveRecorder(name) != nil {
+		// An in-process recorder can't happen from the CLI, but keep the
+		// check honest for shared back ends.
+		return fmt.Errorf("fsck: %s is recording in this process", name)
+	}
+	if recording && !quiet {
+		fmt.Printf("%-22s %-32s recorder did not seal (crash or still recording elsewhere)\n", "live-unsealed", core.LiveMetaFileName)
+	}
+	if !recording && findings == 0 {
+		fmt.Printf("%s: clean (live layout, %d segments)\n", root, len(segs))
+		return nil
+	}
+	total := findings
+	if recording {
+		total++
+	}
+	fmt.Printf("%s: %d findings across %d segments (live layout)\n", root, total, len(segs))
+	if !repair {
+		return fmt.Errorf("fsck: live bag is damaged (re-run with -repair to fix)")
+	}
+	if err := b.RepairLive(name); err != nil {
+		return fmt.Errorf("fsck: repair: %w", err)
+	}
+	// RepairLive may have dropped unrecoverable segments; re-list.
+	if segs, err = liveSegments(root); err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	if findings, err = scan(); err != nil {
+		return err
+	}
+	if findings > 0 {
+		return fmt.Errorf("fsck: live bag still damaged after repair (%d findings)", findings)
+	}
+	fmt.Printf("%s: repaired, now sealed and clean (%d segments)\n", root, len(segs))
+	return nil
+}
+
+// liveSegments lists root's seg-* directories in segment order.
+func liveSegments(root string) ([]string, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range ents {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "seg-") {
+			out = append(out, filepath.Join(root, ent.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }

@@ -3,11 +3,14 @@
 // Usage:
 //
 //	borabag [global flags] record -o out.bag -seconds 5 [-scale 1000]
+//	borabag [global flags] record -backend DIR -name bag1 [-live [-segment-window 1m]]
+//	borabag -remote ADDR record -name bag1 [-live]
 //	borabag [global flags] info file.bag
 //	borabag [global flags] duplicate -backend DIR -name bag1 file.bag
 //	borabag [global flags] ls -backend DIR
 //	borabag [global flags] topics -backend DIR -name bag1
 //	borabag [global flags] query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
+//	borabag -remote ADDR query -name bag1 -follow
 //	borabag [global flags] export -backend DIR -name bag1 -o out.bag
 //
 // Global flags precede the subcommand:
@@ -22,8 +25,9 @@
 //	-pool             serve bag opens through a shared handle pool
 //	                  (internal/pool: cached opens, block cache) and print
 //	                  its hit/miss/eviction stats to stderr afterwards
-//	-remote ADDR      run query/topics against a borad daemon at ADDR over
-//	                  the wire protocol instead of opening -backend locally
+//	-remote ADDR      run query/topics/record against a borad daemon at ADDR
+//	                  over the wire protocol instead of opening -backend
+//	                  locally
 //
 // The flags compose: each independently enables the shared registry, so
 // e.g. -trace alone collects metrics too (they are simply not printed),
@@ -31,9 +35,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"time"
@@ -216,7 +223,9 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: borabag [-metrics] [-metrics-out FILE] [-trace FILE] [-pool] [-remote ADDR] <command> [flags]
 
 commands:
-  record     synthesize a Handheld-SLAM-like bag (Table II mix)
+  record     synthesize a Handheld-SLAM-like recording (Table II mix) into a
+             .bag file, a BORA container (-backend -name, -live for the
+             segmented live layout), or a daemon (-remote, via RECORD upload)
   info       print a bag file summary (rosbag info)
   duplicate  re-organize a bag into a BORA container (Fig 6)
   ls         list bags on a BORA back end
@@ -246,14 +255,64 @@ func openBackend(dir string) (*core.BORA, error) {
 
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	out := fs.String("o", "out.bag", "output bag path")
+	out := fs.String("o", "out.bag", "output bag path (file mode)")
+	backend := fs.String("backend", "", "record into a BORA back end instead of a file")
+	name := fs.String("name", "", "logical bag name (container and remote modes)")
+	live := fs.Bool("live", false, "record the live segmented layout (tail with query -follow)")
+	window := fs.Duration("segment-window", 0, "live segment rotation window (0 = default)")
 	seconds := fs.Int("seconds", 5, "seconds of recording to synthesize")
 	scale := fs.Int("scale", 1000, "image payload scale-down divisor (1 = paper sizes)")
 	seed := fs.Int64("seed", 1, "payload random seed")
 	fs.Parse(args)
-	n, err := workload.WriteHandheldSLAMBag(*out, workload.SyntheticOptions{
-		Seconds: *seconds, ScaleDown: *scale, Seed: *seed,
-	})
+	opts := workload.SyntheticOptions{Seconds: *seconds, ScaleDown: *scale, Seed: *seed}
+
+	// Remote mode: upload over the wire through client.Record.
+	if remoteAddr != "" {
+		if *name == "" {
+			return fmt.Errorf("record: -name is required with -remote")
+		}
+		return remoteRecord(*name, *live, *window, opts)
+	}
+
+	// Container mode: record straight into a BORA back end — the live
+	// layout when -live (queryable mid-recording via Follow), a classic
+	// single-container bag otherwise.
+	if *backend != "" {
+		if *name == "" {
+			return fmt.Errorf("record: -name is required with -backend")
+		}
+		b, err := openBackend(*backend)
+		if err != nil {
+			return err
+		}
+		var rec *core.Recorder
+		if *live {
+			rec, err = b.CreateLiveBag(*name, *window)
+		} else {
+			rec, err = b.CreateBag(*name)
+		}
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		n, err := workload.RecordHandheldSLAM(rec, opts)
+		if err != nil {
+			return err
+		}
+		if err := rec.Seal(); err != nil {
+			return err
+		}
+		layout := "classic"
+		if *live {
+			layout = "live"
+		}
+		fmt.Printf("recorded %s/%s (%s layout): %d messages, %d synthetic seconds in %v\n",
+			*backend, *name, layout, n, *seconds, time.Since(start))
+		return nil
+	}
+
+	// File mode: the original synthetic .bag writer.
+	n, err := workload.WriteHandheldSLAMBag(*out, opts)
 	if err != nil {
 		return err
 	}
@@ -368,8 +427,12 @@ func cmdQuery(args []string) error {
 	endSec := fs.Float64("end", 0, "end time (seconds since epoch, 0 = bag end)")
 	parallel := fs.Int("parallel", 0, "read topic streams concurrently with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	chrono := fs.Bool("chrono", false, "deliver messages in global timestamp order (serial)")
+	follow := fs.Bool("follow", false, "tail a recording bag: stream the sealed prefix, then live messages until sealed or interrupted")
 	quiet := fs.Bool("q", false, "suppress per-message output")
 	fs.Parse(args)
+	if *follow && *parallel != 0 {
+		return fmt.Errorf("query: -follow streams serially; drop -parallel")
+	}
 	if remoteAddr != "" {
 		if *parallel != 0 {
 			return fmt.Errorf("query: -parallel is not supported with -remote (the daemon streams serially per query)")
@@ -378,7 +441,7 @@ func cmdQuery(args []string) error {
 		if *topicsArg != "" {
 			topics = strings.Split(*topicsArg, ",")
 		}
-		return remoteQuery(*name, topics, *startSec, *endSec, *chrono, *quiet)
+		return remoteQuery(*name, topics, *startSec, *endSec, *chrono, *follow, *quiet)
 	}
 	b, err := openBackend(*backend)
 	if err != nil {
@@ -419,7 +482,11 @@ func cmdQuery(args []string) error {
 	if *chrono {
 		spec.Order = core.OrderTime
 	}
-	if err := bag.Query(spec, emit); err != nil {
+	spec.Follow = *follow
+	// A follow of a still-recording bag has no natural end; ^C bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := bag.QueryContext(ctx, spec, emit); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
 	fmt.Printf("open %v, query %v: %d messages, %d bytes (windows scanned: %d)\n",

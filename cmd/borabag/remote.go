@@ -1,7 +1,8 @@
-// Remote mode: with the global -remote ADDR flag, query and topics run
-// against a borad daemon over the wire protocol instead of opening a
-// back-end directory locally, so many CLI invocations share one
-// daemon's handle pool and block cache.
+// Remote mode: with the global -remote ADDR flag, query, topics and
+// record run against a borad daemon over the wire protocol instead of
+// opening a back-end directory locally, so many CLI invocations share
+// one daemon's handle pool and block cache — and a follow query can
+// tail a recording another connection is still uploading.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/bagio"
 	"repro/internal/client"
+	"repro/internal/workload"
 )
 
 // remoteAddr is the global -remote flag: when non-empty, subcommands
@@ -42,7 +44,10 @@ func remoteTopics(name string) error {
 
 // remoteQuery is cmdQuery against a daemon: one streaming QUERY with
 // the same topic/time/order selection, counting messages and bytes.
-func remoteQuery(name string, topics []string, startSec, endSec float64, chrono, quiet bool) error {
+// With follow, the daemon streams the sealed prefix and then live
+// messages until the recording seals (or the process is interrupted —
+// closing the connection cancels the server-side stream).
+func remoteQuery(name string, topics []string, startSec, endSec float64, chrono, follow, quiet bool) error {
 	cl, err := dialRemote()
 	if err != nil {
 		return err
@@ -52,6 +57,7 @@ func remoteQuery(name string, topics []string, startSec, endSec float64, chrono,
 		Topics: topics,
 		Start:  bagio.TimeFromNanos(int64(startSec * 1e9)),
 		Chrono: chrono,
+		Follow: follow,
 	}
 	if endSec > 0 {
 		spec.End = bagio.TimeFromNanos(int64(endSec * 1e9))
@@ -73,5 +79,35 @@ func remoteQuery(name string, topics []string, startSec, endSec float64, chrono,
 	count, bytes := st.Received()
 	fmt.Printf("remote query %v: %d messages, %d bytes from %s (query id %016x)\n",
 		time.Since(queryStart), count, bytes, remoteAddr, st.QueryID())
+	return nil
+}
+
+// remoteRecord is cmdRecord against a daemon: the synthetic Table II
+// stream uploaded through one RECORD stream, live or classic.
+func remoteRecord(name string, live bool, window time.Duration, opts workload.SyntheticOptions) error {
+	cl, err := dialRemote()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	rs, err := cl.Record(name, client.RecordSpec{Live: live, WindowNanos: uint64(window)})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n, err := workload.RecordHandheldSLAM(rs, opts)
+	if err != nil {
+		return err
+	}
+	if err := rs.Seal(); err != nil {
+		return err
+	}
+	_, bytes := rs.Sent()
+	layout := "classic"
+	if live {
+		layout = "live"
+	}
+	fmt.Printf("recorded %s on %s (%s layout): %d messages, %d payload bytes in %v\n",
+		name, remoteAddr, layout, n, bytes, time.Since(start))
 	return nil
 }

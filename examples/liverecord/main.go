@@ -6,6 +6,10 @@
 // then organized into a BORA container and queried, and the same data is
 // also recorded ONLINE into a second container (no intermediate bag),
 // demonstrating the online-BORA mode the paper discusses in §III-C.
+// The online half uses a second graph.Recorder pointed at the container
+// recorder — the same recording node serves both destinations, because
+// both implement core.RecordSink — and a concurrent Follow query tails
+// the live container while it is still being written.
 //
 //	go run ./examples/liverecord
 package main
@@ -66,26 +70,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	online, err := backend.CreateBag("sample_online")
+	online, err := backend.CreateLiveBag("sample_online", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	onlineNode, err := g.NewNode("bora_online")
+	// The identical recorder node records into the live container: both
+	// rosbag.Writer and core.Recorder are core.RecordSinks.
+	onlineRec, err := graph.NewRecorder(g, "bora_online", online, workload.TopicRGBImage, workload.TopicIMU)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var subs []*graph.Subscriber
-	for _, topic := range []string{workload.TopicRGBImage, workload.TopicIMU} {
-		sub, err := onlineNode.Subscribe(topic, 256, func(m graph.Message) {
-			if err := online.WriteRaw(m.Topic, m.Type, m.Time, m.Data); err != nil {
-				log.Printf("online write: %v", err)
-			}
+
+	// Tail the live container while it records: a Follow query streams
+	// everything already on disk, then blocks for the live tail until
+	// the recording seals.
+	tailDone := make(chan int, 1)
+	go func() {
+		liveView, err := backend.Open("sample_online")
+		if err != nil {
+			log.Printf("follow open: %v", err)
+			tailDone <- -1
+			return
+		}
+		n := 0
+		err = liveView.Query(core.QuerySpec{Follow: true}, func(core.MessageRef) error {
+			n++
+			return nil
 		})
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("follow query: %v", err)
 		}
-		subs = append(subs, sub)
-	}
+		tailDone <- n
+	}()
 
 	// --- drive the sensors: 2 seconds at 30 Hz video + 100 Hz IMU ---
 	base := int64(1_600_000_000) * 1e9
@@ -111,8 +127,8 @@ func main() {
 	if err := rec.Stop(); err != nil {
 		log.Fatal(err)
 	}
-	for _, s := range subs {
-		s.Close()
+	if err := onlineRec.Stop(); err != nil {
+		log.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
 		log.Fatal(err)
@@ -129,7 +145,7 @@ func main() {
 	}
 	fmt.Printf("duplicated: %d topics, %d messages\n", stats.Topics, stats.Messages)
 	var imuCount int
-	if err := bag.ReadMessages([]string{workload.TopicIMU}, func(core.MessageRef) error {
+	if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(core.MessageRef) error {
 		imuCount++
 		return nil
 	}); err != nil {
@@ -142,11 +158,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tailCount := <-tailDone // sealing ends the Follow stream
 	liveCount, err := liveBag.MessageCount()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("online container:  %d messages recorded with no intermediate bag\n", liveCount)
+	fmt.Printf("follow query:      %d messages tailed live\n", tailCount)
 	if liveCount != int(rec.Recorded()) {
 		log.Fatalf("online (%d) and offline (%d) paths disagree", liveCount, rec.Recorded())
 	}

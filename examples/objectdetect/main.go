@@ -66,7 +66,7 @@ func main() {
 		imageBytes int64
 	)
 	start := time.Now()
-	err = bag.ReadMessagesChrono(app.Topics, bagio.MinTime, bagio.MaxTime, func(m core.MessageRef) error {
+	err = bag.Query(core.QuerySpec{Topics: app.Topics, Order: core.OrderTime}, func(m core.MessageRef) error {
 		switch m.Conn.Type {
 		case "sensor_msgs/Image":
 			var img msgs.Image

@@ -62,7 +62,7 @@ func main() {
 	// 3a. Query by topic (Fig 7): whole-topic sequential reads.
 	start = time.Now()
 	var imuCount int
-	err = bag.ReadMessages([]string{workload.TopicIMU}, func(m core.MessageRef) error {
+	err = bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(m core.MessageRef) error {
 		imuCount++
 		return nil
 	})
@@ -81,7 +81,7 @@ func main() {
 	stop := mid.Add(time.Second)
 	start = time.Now()
 	var windowCount int
-	err = bag.ReadMessagesTime([]string{workload.TopicIMU, workload.TopicTF}, mid, stop, func(m core.MessageRef) error {
+	err = bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU, workload.TopicTF}, Start: mid, End: stop}, func(m core.MessageRef) error {
 		windowCount++
 		return nil
 	})

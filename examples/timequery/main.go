@@ -77,7 +77,7 @@ func main() {
 			log.Fatal(err)
 		}
 		var boraCount int
-		err = bag.ReadMessagesTime(topics, base, end, func(m core.MessageRef) error {
+		err = bag.Query(core.QuerySpec{Topics: topics, Start: base, End: end}, func(m core.MessageRef) error {
 			boraCount++
 			return nil
 		})

@@ -90,7 +90,7 @@ func runAblationRebag(reg *obs.Registry) (*Table, error) {
 
 		// BORA path.
 		boraStart := time.Now()
-		_, boraKept, err := backend.Rebag(full, fmt.Sprintf("sub%d", i), core.FilterSpec{
+		_, boraKept, err := backend.Rebag(full, fmt.Sprintf("sub%d", i), core.QuerySpec{
 			Topics: qc.topics, Start: qc.start, End: qc.end,
 		})
 		boraTime := time.Since(boraStart)
@@ -205,7 +205,7 @@ func runAblationStripe(reg *obs.Registry) (*Table, error) {
 
 		qStart := time.Now()
 		n := 0
-		if err := bag.ReadMessages([]string{workload.TopicIMU, workload.TopicRGBImage}, func(core.MessageRef) error {
+		if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU, workload.TopicRGBImage}}, func(core.MessageRef) error {
 			n++
 			return nil
 		}); err != nil {
@@ -217,7 +217,7 @@ func runAblationStripe(reg *obs.Registry) (*Table, error) {
 		fullTime := time.Since(qStart)
 
 		wStart := time.Now()
-		if err := bag.ReadMessagesTime([]string{workload.TopicIMU}, base, base.Add(time.Second), func(core.MessageRef) error {
+		if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}, Start: base, End: base.Add(time.Second)}, func(core.MessageRef) error {
 			return nil
 		}); err != nil {
 			return nil, err

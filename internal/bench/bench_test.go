@@ -18,6 +18,7 @@ func TestIDsCoverPaperArtifacts(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"ablation-window", "ablation-workers", "ablation-chunk",
 		"ablation-rebag", "ablation-compression", "ablation-stripe", "validate-real",
+		"live-tail",
 	} {
 		if !have[want] {
 			t.Errorf("experiment %q not registered", want)

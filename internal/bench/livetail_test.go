@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestLiveTailLatency runs the live-tail scenarios at reduced scale and
+// asserts the pipeline's shape and a generous latency ceiling: every
+// prefix message is drained, every paced message yields a latency
+// sample, and the p99 write-to-delivery staleness stays far below the
+// one-second segment window even on a loaded CI runner.
+func TestLiveTailLatency(t *testing.T) {
+	const (
+		prefix  = 2000
+		paced   = 150
+		pace    = time.Millisecond
+		payload = 128
+		p99Max  = 250 * time.Millisecond
+	)
+	b, err := core.New(t.TempDir(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []struct {
+		label string
+		run   func(*core.BORA, string, int, int, time.Duration, int) (*liveTailResult, error)
+	}{
+		{"local", liveTailLocalRun},
+		{"net", liveTailNetRun},
+	} {
+		res, err := sc.run(b, "tail-"+sc.label, prefix, paced, pace, payload)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.label, err)
+		}
+		if res.catchupMsgs != prefix {
+			t.Errorf("%s: follower drained %d prefix messages, want %d", sc.label, res.catchupMsgs, prefix)
+		}
+		if len(res.latencies) != paced {
+			t.Errorf("%s: %d latency samples, want %d", sc.label, len(res.latencies), paced)
+		}
+		if p99 := latencyQuantile(res.latencies, 0.99); p99 > p99Max {
+			t.Errorf("%s: tail p99 = %v, want < %v", sc.label, p99, p99Max)
+		}
+	}
+}

@@ -99,9 +99,9 @@ func runValidateReal(reg *obs.Registry) (*Table, error) {
 		var boraCount int
 		emit := func(core.MessageRef) error { boraCount++; return nil }
 		if qc.start == bagio.MinTime && qc.end == bagio.MaxTime {
-			err = bag.ReadMessages(qc.topics, emit)
+			err = bag.Query(core.QuerySpec{Topics: qc.topics}, emit)
 		} else {
-			err = bag.ReadMessagesTime(qc.topics, qc.start, qc.end, emit)
+			err = bag.Query(core.QuerySpec{Topics: qc.topics, Start: qc.start, End: qc.end}, emit)
 		}
 		if err != nil {
 			return nil, err

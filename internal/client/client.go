@@ -338,6 +338,11 @@ type QuerySpec struct {
 	// Chrono delivers messages in global timestamp order across topics
 	// (core.OrderTime) instead of grouped by topic.
 	Chrono bool
+	// Follow streams the bag's live tail after its sealed prefix: Next
+	// blocks on new messages until the recording seals or the stream is
+	// Closed. The stream's connection table may grow mid-stream as the
+	// recording introduces topics.
+	Follow bool
 	// QueryID is the 64-bit trace id the query travels under; zero (the
 	// default) mints a fresh random id per Query call. The id is sent on
 	// the wire so the server's spans and slow-query records carry the
@@ -360,6 +365,7 @@ func (c *Client) Query(name string, q QuerySpec) (*Stream, error) {
 		Topics:  q.Topics,
 		Start:   q.Start,
 		End:     q.End,
+		Follow:  q.Follow,
 		TraceID: qid,
 	}
 	if q.Chrono {
@@ -483,49 +489,61 @@ func (st *Stream) Next() bool {
 			st.unacked = 0
 		}
 	}
-	f, err := c.readFrame()
-	if err != nil {
-		st.fail(err)
-		return false
-	}
-	switch f.Op {
-	case wire.OpMsg:
-		m, err := wire.DecodeMsg(f.Payload)
+	for {
+		f, err := c.readFrame()
 		if err != nil {
 			st.fail(err)
 			return false
 		}
-		if int(m.Conn) >= len(st.conns) {
-			st.fail(fmt.Errorf("client: message for unknown connection %d", m.Conn))
+		switch f.Op {
+		case wire.OpQueryHdr:
+			// Mid-stream table resend: a followed recording introduced a
+			// topic. The new table extends the old one in place.
+			conns, err := wire.DecodeQueryHdr(f.Payload)
+			if err != nil {
+				st.fail(err)
+				return false
+			}
+			st.conns = conns
+			continue
+		case wire.OpMsg:
+			m, err := wire.DecodeMsg(f.Payload)
+			if err != nil {
+				st.fail(err)
+				return false
+			}
+			if int(m.Conn) >= len(st.conns) {
+				st.fail(fmt.Errorf("client: message for unknown connection %d", m.Conn))
+				return false
+			}
+			meta := st.conns[m.Conn]
+			st.cur = Message{Topic: meta.Topic, Type: meta.Type, Time: m.Time, Data: m.Data}
+			st.unacked++
+			st.count++
+			st.bytes += uint64(len(m.Data))
+			return true
+		case wire.OpEnd:
+			end, err := wire.DecodeEnd(f.Payload)
+			if err != nil {
+				st.fail(err)
+				return false
+			}
+			if end.Count != st.count {
+				st.fail(fmt.Errorf("client: stream ended after %d messages, server reports %d", st.count, end.Count))
+				return false
+			}
+			st.finish()
+			return false
+		case wire.OpErr:
+			// A terminal ERR ends the stream cleanly: the framing is
+			// intact, the connection stays usable.
+			st.err = &ServerError{Msg: string(f.Payload)}
+			st.finish()
+			return false
+		default:
+			st.fail(fmt.Errorf("client: unexpected opcode 0x%02x in stream", f.Op))
 			return false
 		}
-		meta := st.conns[m.Conn]
-		st.cur = Message{Topic: meta.Topic, Type: meta.Type, Time: m.Time, Data: m.Data}
-		st.unacked++
-		st.count++
-		st.bytes += uint64(len(m.Data))
-		return true
-	case wire.OpEnd:
-		end, err := wire.DecodeEnd(f.Payload)
-		if err != nil {
-			st.fail(err)
-			return false
-		}
-		if end.Count != st.count {
-			st.fail(fmt.Errorf("client: stream ended after %d messages, server reports %d", st.count, end.Count))
-			return false
-		}
-		st.finish()
-		return false
-	case wire.OpErr:
-		// A terminal ERR ends the stream cleanly: the framing is
-		// intact, the connection stays usable.
-		st.err = &ServerError{Msg: string(f.Payload)}
-		st.finish()
-		return false
-	default:
-		st.fail(fmt.Errorf("client: unexpected opcode 0x%02x in stream", f.Op))
-		return false
 	}
 }
 

@@ -1,0 +1,210 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bagio"
+	"repro/internal/server/wire"
+)
+
+// RecordSpec configures a remote recording.
+type RecordSpec struct {
+	// Live records into the segmented live layout, readable mid-upload
+	// with QuerySpec{Follow: true}; off records a classic
+	// single-container bag.
+	Live bool
+	// WindowNanos is the live segment rotation window in nanoseconds;
+	// zero selects the server default. Ignored unless Live.
+	WindowNanos uint64
+}
+
+// Record opens an upload stream creating the named bag on the daemon.
+// The returned RecordStream implements core.RecordSink's method set
+// (AddConnection, WriteMessage, Seal), so recording pipelines point at
+// a remote daemon the same way they point at a local container or a
+// classic bag file. Until Seal (or Abort), no other request may run on
+// this client.
+func (c *Client) Record(name string, spec RecordSpec) (*RecordStream, error) {
+	req := wire.RecordReq{Name: name, Live: spec.Live, WindowNanos: spec.WindowNanos}
+	var credit uint32
+	err := c.locked(func() error {
+		f, err := c.roundTrip(wire.OpRecord, wire.EncodeRecord(req))
+		if err != nil {
+			return err
+		}
+		if f.Op != wire.OpOK {
+			return fmt.Errorf("client: record answered with opcode 0x%02x", f.Op)
+		}
+		if credit, err = wire.DecodeCredit(f.Payload); err != nil {
+			return err
+		}
+		c.streaming = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RecordStream{c: c, credit: int64(credit)}, nil
+}
+
+// RecordStream is one in-flight upload. It is not safe for concurrent
+// use: the recorder's write lock lives server-side, and the upload is
+// one ordered frame stream.
+type RecordStream struct {
+	c        *Client
+	credit   int64 // RECMSG frames the server has granted and we have not sent
+	nextConn uint16
+	count    uint64
+	bytes    uint64
+	err      error
+	finished bool
+}
+
+// AddConnection declares a topic/type pair, returning the connection ID
+// WriteMessage takes (core.RecordSink's contract). IDs are assigned
+// client-side, so declaring costs no round trip.
+func (rs *RecordStream) AddConnection(topic, msgType string) (uint32, error) {
+	if rs.finished {
+		return 0, rs.doneErr()
+	}
+	if rs.nextConn == 0xffff {
+		return 0, errors.New("client: connection table full")
+	}
+	id := rs.nextConn
+	rs.nextConn++
+	rc := wire.RecConn{Conn: id, Topic: topic, Type: msgType}
+	rs.c.mu.Lock()
+	err := rs.c.writeFrame(wire.OpRecConn, wire.EncodeRecConn(rc))
+	rs.c.mu.Unlock()
+	if err != nil {
+		rs.fail(err)
+		return 0, err
+	}
+	return uint32(id), nil
+}
+
+// WriteMessage uploads one message on a declared connection, blocking
+// when the credit window is exhausted until the server grants more.
+// data is only read during the call.
+func (rs *RecordStream) WriteMessage(conn uint32, t bagio.Time, data []byte) error {
+	if rs.finished {
+		return rs.doneErr()
+	}
+	for rs.credit <= 0 {
+		if err := rs.readGrant(); err != nil {
+			rs.fail(err)
+			return err
+		}
+	}
+	rs.credit--
+	rs.c.mu.Lock()
+	err := rs.c.enc.WriteMsgOp(rs.c.nc, wire.OpRecMsg, wire.Msg{Conn: uint16(conn), Time: t, Data: data})
+	rs.c.mu.Unlock()
+	if err != nil {
+		rs.fail(err)
+		return err
+	}
+	rs.count++
+	rs.bytes += uint64(len(data))
+	return nil
+}
+
+// readGrant consumes one server frame while blocked on credit: a GRANT
+// widens the window; an ERR is the server failing the upload.
+func (rs *RecordStream) readGrant() error {
+	f, err := rs.c.readFrame()
+	if err != nil {
+		return err
+	}
+	switch f.Op {
+	case wire.OpGrant:
+		n, err := wire.DecodeGrant(f.Payload)
+		if err != nil {
+			return err
+		}
+		rs.credit += int64(n)
+		return nil
+	case wire.OpErr:
+		return &ServerError{Msg: string(f.Payload)}
+	default:
+		return fmt.Errorf("client: unexpected opcode 0x%02x during upload", f.Op)
+	}
+}
+
+// Seal finishes the upload: the server seals the recording durable and
+// the stream reports its summary. The client is reusable afterwards.
+// Seal completes core.RecordSink's method set.
+func (rs *RecordStream) Seal() error {
+	if rs.finished {
+		return rs.doneErr()
+	}
+	rs.c.mu.Lock()
+	err := rs.c.writeFrame(wire.OpRecDone, nil)
+	rs.c.mu.Unlock()
+	if err != nil {
+		rs.fail(err)
+		return err
+	}
+	for {
+		f, err := rs.c.readFrame()
+		if err != nil {
+			rs.fail(err)
+			return err
+		}
+		switch f.Op {
+		case wire.OpGrant:
+			// Late grants for already-processed messages; drain them.
+		case wire.OpEnd:
+			end, err := wire.DecodeEnd(f.Payload)
+			if err != nil {
+				rs.fail(err)
+				return err
+			}
+			if end.Count != rs.count {
+				err := fmt.Errorf("client: uploaded %d messages, server sealed %d", rs.count, end.Count)
+				rs.fail(err)
+				return err
+			}
+			rs.finish()
+			return nil
+		case wire.OpErr:
+			err := &ServerError{Msg: string(f.Payload)}
+			rs.fail(err)
+			return err
+		default:
+			err := fmt.Errorf("client: unexpected opcode 0x%02x sealing upload", f.Op)
+			rs.fail(err)
+			return err
+		}
+	}
+}
+
+// Sent returns how many messages and payload bytes the stream has
+// uploaded so far.
+func (rs *RecordStream) Sent() (count, bytes uint64) { return rs.count, rs.bytes }
+
+// Err returns the stream's terminal error, if any.
+func (rs *RecordStream) Err() error { return rs.err }
+
+func (rs *RecordStream) doneErr() error {
+	if rs.err != nil {
+		return rs.err
+	}
+	return errors.New("client: upload already sealed")
+}
+
+func (rs *RecordStream) finish() {
+	rs.finished = true
+	rs.c.mu.Lock()
+	rs.c.streaming = false
+	rs.c.mu.Unlock()
+}
+
+// fail records a connection-level upload failure; the conn stays marked
+// streaming (its framing is undefined now), so follow-up requests error
+// rather than desync.
+func (rs *RecordStream) fail(err error) {
+	rs.err = err
+	rs.finished = true
+}

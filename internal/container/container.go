@@ -380,8 +380,9 @@ type TopicWriter struct {
 	crc        hash.Hash32
 	offset     uint64
 	closed     bool
-	ixbuf      []byte // encoded entries not yet written to the index file
-	pending    int    // entries in ixbuf
+	last       IndexEntry // entry minted by the most recent Append
+	ixbuf      []byte     // encoded entries not yet written to the index file
+	pending    int        // entries in ixbuf
 	flushEvery int
 }
 
@@ -404,7 +405,14 @@ func (tw *TopicWriter) Append(t bagio.Time, payload []byte) error {
 		Length:         uint32(len(payload)),
 		PhysicalOffset: tw.offset,
 	}
+	// The in-memory entry list is published under the topic mutex: a
+	// live follower may be snapshotting Entries() of this still-building
+	// topic concurrently (the payload bytes above are already on disk,
+	// so anything the published entry describes is readable).
+	tw.topic.mu.Lock()
 	tw.topic.entries = append(tw.topic.entries, e)
+	tw.topic.mu.Unlock()
+	tw.last = e
 	tw.offset += uint64(len(payload))
 	n := len(tw.ixbuf)
 	tw.ixbuf = append(tw.ixbuf, make([]byte, IndexEntrySize)...)
@@ -475,6 +483,18 @@ func (tw *TopicWriter) Close() error {
 	}
 	return writeChecksum(tw.fs, tw.topic.dir, tw.crc.Sum32(), int64(tw.offset))
 }
+
+// LastEntry returns the index entry minted by the most recent Append
+// (the zero entry before the first). Live recorders journal it so
+// tailing followers can read the message back without re-deriving
+// offsets.
+func (tw *TopicWriter) LastEntry() IndexEntry { return tw.last }
+
+// Topic returns the topic this writer appends to. A live recorder hands
+// it to in-process followers: the topic's in-memory entry list grows as
+// messages are appended, and the data already on disk backs every
+// published entry.
+func (tw *TopicWriter) Topic() *Topic { return tw.topic }
 
 // Name returns the topic name.
 func (t *Topic) Name() string { return t.topic }

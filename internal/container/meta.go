@@ -119,6 +119,12 @@ func writeMeta(fs faultfs.Backend, root string, m *Meta) error {
 // genCounter disambiguates seals that land on the same clock reading.
 var genCounter atomic.Uint64
 
+// NewGen mints a fresh generation token outside a container Seal — the
+// live-bag layer stamps one into its own meta when a recording
+// completes, so handle caches compare live and classic bags the same
+// way.
+func NewGen() uint64 { return newGen() }
+
 // newGen mints a generation token for a seal. A plain per-container
 // counter would collide after Remove + re-Duplicate (the counter state
 // dies with the directory and restarts at 1), so the token combines the

@@ -81,6 +81,7 @@ type bagObs struct {
 	readChrono   *obs.Op // core.read_chrono: k-way chronological merge
 	readParallel *obs.Op // core.read_parallel: concurrent per-topic streams
 	readTopic    *obs.Op // core.read_topic: one topic's sequential stream
+	follow       *obs.Op // core.follow: snapshot + live-tail query
 	export       *obs.Op // core.export: container -> standard bag stream
 }
 
@@ -91,28 +92,48 @@ func newBagObs(reg *obs.Registry) bagObs {
 		readChrono:   reg.Op("core.read_chrono"),
 		readParallel: reg.Op("core.read_parallel"),
 		readTopic:    reg.Op("core.read_topic"),
+		follow:       reg.Op("core.follow"),
 		export:       reg.Op("core.export"),
 	}
 }
 
-// Bag is an open logical bag backed by a BORA container. A Bag is safe
-// for concurrent queries: the stats counters and the lazily loaded time
-// indexes are guarded by an internal mutex.
+// topicChain is one topic's part list across a bag's segments, in
+// segment (= write) order. Classic bags have single-part chains; live
+// bags accumulate one part per segment the topic appeared in. Reading
+// the parts in order preserves per-topic append order, so a chain
+// behaves exactly like one long topic.
+type topicChain struct {
+	name  string
+	parts []*container.Topic
+}
+
+// Bag is an open logical bag backed by one or more BORA containers
+// (classic bags have exactly one; live bags have one per segment). A
+// Bag is safe for concurrent queries: the stats counters and the lazily
+// loaded time indexes are guarded by an internal mutex.
 type Bag struct {
 	name string
-	c    *container.Container
-	tags *tagman.Table
-	opts Options
-	ops  bagObs
+	segs []*container.Container
+	// rec wires a handle opened mid-recording to its in-process
+	// recorder: topic chains are re-snapshotted from the recorder per
+	// query (tracking segment rotation), and Follow queries subscribe
+	// to its live tail. Nil for classic and completed live bags.
+	rec     *Recorder
+	liveGen uint64 // completion generation of a complete live bag
+	tags    *tagman.Table
+	opts    Options
+	ops     bagObs
 
 	// mu guards the stats counters and the memoized derived state
 	// below. Connections, per-topic message counts and the coarse time
 	// indexes are immutable properties of a sealed container, so each
 	// is computed once per handle and served from memory afterwards —
 	// which is what makes pooled (cached) handles cheap to re-query.
+	// Live-wired handles skip every memoization: their derived state
+	// changes with each write.
 	mu      sync.Mutex
 	stats   Stats
-	timeIdx map[string]*timeindex.Index
+	timeIdx map[string]*timeindex.Index // keyed by topic part Dir()
 	conns   []*bagio.Connection
 	counts  map[string]int
 }
@@ -121,13 +142,95 @@ type Bag struct {
 func (bag *Bag) Name() string { return bag.name }
 
 // Topics returns the bag's sorted topic names.
-func (bag *Bag) Topics() []string { return bag.c.Topics() }
+func (bag *Bag) Topics() []string {
+	if bag.rec != nil {
+		return bag.rec.Topics()
+	}
+	if len(bag.segs) == 1 {
+		return bag.segs[0].Topics()
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range bag.segs {
+		for _, t := range c.Topics() {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // TagTable exposes the tag manager's hash table (topic → back-end path).
+// For a live-wired handle it is the snapshot taken at open.
 func (bag *Bag) TagTable() *tagman.Table { return bag.tags }
 
-// Container exposes the underlying container.
-func (bag *Bag) Container() *container.Container { return bag.c }
+// Container exposes the bag's first (for live bags: oldest) container.
+// Segment-spanning callers should use Segments.
+func (bag *Bag) Container() *container.Container {
+	if bag.rec != nil {
+		return bag.rec.firstContainer()
+	}
+	if len(bag.segs) == 0 {
+		return nil
+	}
+	return bag.segs[0]
+}
+
+// Segments returns the bag's containers in segment order. Classic bags
+// return exactly one. For a live-wired handle this is a snapshot —
+// rotation may append more.
+func (bag *Bag) Segments() []*container.Container {
+	if bag.rec != nil {
+		bag.rec.mu.Lock()
+		out := make([]*container.Container, len(bag.rec.segs))
+		for i, seg := range bag.rec.segs {
+			out[i] = seg.c
+		}
+		bag.rec.mu.Unlock()
+		return out
+	}
+	out := make([]*container.Container, len(bag.segs))
+	copy(out, bag.segs)
+	return out
+}
+
+// LiveWired reports whether this handle is wired to an in-process
+// recorder still recording — the state in which Follow queries tail a
+// live feed and handle caches treat the handle as always-fresh.
+func (bag *Bag) LiveWired() bool { return bag.rec != nil }
+
+// Generation returns the bag's sealed generation token (the container
+// seal gen for classic bags, the live meta's completion gen for
+// complete live bags) and 0 while recording — a recording bag has no
+// stable generation yet.
+func (bag *Bag) Generation() uint64 {
+	if bag.rec != nil {
+		return 0
+	}
+	if bag.liveGen != 0 {
+		return bag.liveGen
+	}
+	if len(bag.segs) > 0 {
+		return bag.segs[0].Generation()
+	}
+	return 0
+}
+
+// SetBlockCache routes the bag's data reads through bc. Live-wired
+// handles skip it: the building segment's data files still grow, and
+// the block cache must never capture a short read of a block that
+// later fills in.
+func (bag *Bag) SetBlockCache(bc container.BlockCache) {
+	if bag.rec != nil {
+		return
+	}
+	for _, c := range bag.segs {
+		c.SetBlockCache(bc)
+	}
+}
 
 // Stats returns the operation counters accumulated so far.
 func (bag *Bag) Stats() Stats {
@@ -147,30 +250,41 @@ func (bag *Bag) addStats(d Stats) {
 	bag.mu.Unlock()
 }
 
+// noteReads feeds the container-level read counters (hot-bag tracking).
+func (bag *Bag) noteReads(msgs, bytes int64) {
+	if len(bag.segs) > 0 {
+		bag.segs[0].NoteReads(msgs, bytes)
+	}
+}
+
 // Connections returns connection metadata for every topic, memoized
-// after the first call. Callers must not mutate the returned slice's
-// entries.
+// after the first call (except on live-wired handles, whose topic set
+// still grows). Callers must not mutate the returned slice's entries.
 func (bag *Bag) Connections() ([]*bagio.Connection, error) {
-	bag.mu.Lock()
-	if bag.conns != nil {
-		out := make([]*bagio.Connection, len(bag.conns))
-		copy(out, bag.conns)
-		bag.mu.Unlock()
-		return out, nil
-	}
-	bag.mu.Unlock()
-	names := bag.c.Topics()
-	conns := make([]*bagio.Connection, 0, len(names))
-	for _, name := range names {
-		t, err := bag.c.Topic(name)
-		if err != nil {
-			return nil, err
+	live := bag.rec != nil
+	if !live {
+		bag.mu.Lock()
+		if bag.conns != nil {
+			out := make([]*bagio.Connection, len(bag.conns))
+			copy(out, bag.conns)
+			bag.mu.Unlock()
+			return out, nil
 		}
-		conns = append(conns, t.Connection())
+		bag.mu.Unlock()
 	}
-	bag.mu.Lock()
-	bag.conns = conns
-	bag.mu.Unlock()
+	chains, err := bag.chains(nil, false)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]*bagio.Connection, 0, len(chains))
+	for _, ch := range chains {
+		conns = append(conns, ch.parts[0].Connection())
+	}
+	if !live {
+		bag.mu.Lock()
+		bag.conns = conns
+		bag.mu.Unlock()
+	}
 	out := make([]*bagio.Connection, len(conns))
 	copy(out, conns)
 	return out, nil
@@ -194,70 +308,92 @@ func (bag *Bag) MessageCount(topics ...string) (int, error) {
 	return n, nil
 }
 
-// topicCount memoizes one topic's index-entry count.
+// topicCount memoizes one topic's index-entry count (summed across the
+// topic's chain; not memoized on live-wired handles).
 func (bag *Bag) topicCount(name string) (int, error) {
-	bag.mu.Lock()
-	if c, ok := bag.counts[name]; ok {
+	live := bag.rec != nil
+	if !live {
+		bag.mu.Lock()
+		if c, ok := bag.counts[name]; ok {
+			bag.mu.Unlock()
+			return c, nil
+		}
 		bag.mu.Unlock()
-		return c, nil
 	}
-	bag.mu.Unlock()
-	t, err := bag.c.Topic(name)
+	chains, err := bag.chains([]string{name}, false)
 	if err != nil {
 		return 0, err
 	}
-	c, err := t.MessageCount()
-	if err != nil {
-		return 0, err
+	n := 0
+	for _, ch := range chains {
+		for _, t := range ch.parts {
+			es, err := t.Entries()
+			if err != nil {
+				return 0, err
+			}
+			n += len(es)
+		}
 	}
-	bag.mu.Lock()
-	if bag.counts == nil {
-		bag.counts = map[string]int{}
+	if !live {
+		bag.mu.Lock()
+		if bag.counts == nil {
+			bag.counts = map[string]int{}
+		}
+		bag.counts[name] = n
+		bag.mu.Unlock()
 	}
-	bag.counts[name] = c
-	bag.mu.Unlock()
-	return c, nil
+	return n, nil
 }
 
-// resolve maps requested topics to container topics via the tag table —
-// step 2 of Fig 7. The tag table is the only lookup structure consulted.
-func (bag *Bag) resolve(topics []string) ([]*container.Topic, error) {
+// chains maps requested topics to per-topic part chains via the tag
+// table — step 2 of Fig 7. Live-wired handles snapshot the chains from
+// the recorder instead, so queries track segment rotation. When
+// lenient, unknown topics are skipped instead of failing (a Follow
+// query may name a topic recorded only later).
+func (bag *Bag) chains(topics []string, lenient bool) ([]topicChain, error) {
+	if bag.rec != nil {
+		return bag.rec.chains(topics, lenient)
+	}
 	if len(topics) == 0 {
 		topics = bag.Topics()
 	}
-	if _, err := bag.tags.Lookup(topics); err != nil {
-		return nil, err
-	}
-	out := make([]*container.Topic, len(topics))
-	for i, name := range topics {
-		t, err := bag.c.Topic(name)
-		if err != nil {
+	out := make([]topicChain, 0, len(topics))
+	for _, name := range topics {
+		if _, err := bag.tags.Lookup([]string{name}); err != nil {
+			if lenient {
+				continue
+			}
 			return nil, err
 		}
-		out[i] = t
+		var parts []*container.Topic
+		for _, c := range bag.segs {
+			if t, err := c.Topic(name); err == nil {
+				parts = append(parts, t)
+			}
+		}
+		if len(parts) == 0 {
+			if lenient {
+				continue
+			}
+			return nil, fmt.Errorf("bora: unknown topic %q", name)
+		}
+		out = append(out, topicChain{name: name, parts: parts})
 	}
 	return out, nil
 }
 
-// ReadMessages performs BORA data acquisition (Fig 7): each requested
-// topic's data file is read sequentially in full, grouped by topic.
-//
-// Deprecated: use Query with a zero QuerySpec (plus Topics).
-func (bag *Bag) ReadMessages(topics []string, fn func(MessageRef) error) error {
-	return bag.Query(QuerySpec{Topics: topics}, fn)
-}
-
-// readTopicRange streams one topic's messages within [start, end]. sp is
-// the topic stream's already-started core.read_topic span — callers
-// create it as a child (serial queries) or a fork (parallel streams, one
-// trace lane each) of their own span — and is ended here. aq, when
-// non-nil, is charged the stream's index probes and (via OpenDataQ) its
-// block-cache traffic; the per-message loop itself never touches it.
+// readTopicRange streams one topic part's messages within [start, end].
+// sp is the part stream's already-started core.read_topic span —
+// callers create it as a child (serial queries) or a fork (parallel
+// streams, one trace lane each) of their own span — and is ended here.
+// aq, when non-nil, is charged the stream's index probes and (via
+// OpenDataQ) its block-cache traffic; the per-message loop itself never
+// touches it.
 func (bag *Bag) readTopicRange(sp obs.Span, aq *obs.ActiveQuery, t *container.Topic, start, end bagio.Time, fn func(MessageRef) error) (err error) {
 	var d Stats
 	defer func() {
 		bag.addStats(d)
-		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+		bag.noteReads(int64(d.MessagesRead), d.BytesRead)
 		aq.AddIndexProbes(int64(d.EntriesScanned))
 		if err != nil {
 			sp.EndErr(err)
@@ -319,9 +455,14 @@ func (bag *Bag) readTopicRange(sp obs.Span, aq *obs.ActiveQuery, t *container.To
 // and the number of coarse windows scanned. A full-range query visits
 // every entry in append order without touching the time index; that
 // case reports all=true with nil positions rather than materializing
-// an ordinal list per query.
+// an ordinal list per query. Live-wired handles always full-scan: the
+// building segment's time index is still growing, and the fine-grain
+// filter in the read loops bounds delivery regardless.
 func (bag *Bag) positionsInRange(t *container.Topic, start, end bagio.Time) (positions []uint32, all bool, windows int, err error) {
 	if start == bagio.MinTime && end == bagio.MaxTime {
+		return nil, true, 0, nil
+	}
+	if bag.rec != nil {
 		return nil, true, 0, nil
 	}
 	ix, err := bag.timeIndex(t)
@@ -331,14 +472,15 @@ func (bag *Bag) positionsInRange(t *container.Topic, start, end bagio.Time) (pos
 	return ix.QuerySorted(start, end), false, ix.WindowsScanned(start, end), nil
 }
 
-// timeIndex loads (or rebuilds) the coarse-grain time index of a topic.
+// timeIndex loads (or rebuilds) the coarse-grain time index of a topic
+// part, keyed by the part's directory (unique across segments).
 func (bag *Bag) timeIndex(t *container.Topic) (*timeindex.Index, error) {
 	bag.mu.Lock()
 	defer bag.mu.Unlock()
 	if bag.timeIdx == nil {
 		bag.timeIdx = map[string]*timeindex.Index{}
 	}
-	if ix, ok := bag.timeIdx[t.Name()]; ok {
+	if ix, ok := bag.timeIdx[t.Dir()]; ok {
 		return ix, nil
 	}
 	var ix *timeindex.Index
@@ -359,18 +501,8 @@ func (bag *Bag) timeIndex(t *container.Topic) (*timeindex.Index, error) {
 			ix.Add(e.Time, uint32(i))
 		}
 	}
-	bag.timeIdx[t.Name()] = ix
+	bag.timeIdx[t.Dir()] = ix
 	return ix, nil
-}
-
-// ReadMessagesTime performs the combined query by topics and start–end
-// time (Fig 8): the coarse-grain time index reduces each topic's scan to
-// the windows overlapping [start, end] before the fine-grain timestamp
-// filter.
-//
-// Deprecated: use Query with Start/End set.
-func (bag *Bag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
-	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end}, fn)
 }
 
 // mergeItem is one cursor of the chronological merge.
@@ -397,28 +529,27 @@ func (h *mergeHeap) Pop() interface{} {
 	return it
 }
 
-// ReadMessagesChrono yields messages of the requested topics in global
-// timestamp order, merging the per-topic streams through a k-way heap.
-//
-// Deprecated: use Query with Order: OrderTime.
-func (bag *Bag) ReadMessagesChrono(topics []string, start, end bagio.Time, fn func(MessageRef) error) error {
-	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end, Order: OrderTime}, fn)
-}
-
-func (bag *Bag) readMessagesChrono(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, fn func(MessageRef) error) (err error) {
+// readMessagesChrono yields messages of the requested topics in global
+// timestamp order, merging the per-part streams of every chain through
+// a k-way heap. limits, when non-nil, is a snapshot cut (from a Follow
+// subscription): each part delivers at most its limit entries, parts
+// absent from the map deliver nothing, and unknown topics resolve
+// leniently — together that restricts the merge to exactly the
+// messages recorded before the subscription.
+func (bag *Bag) readMessagesChrono(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, limits map[*container.Topic]int, fn func(MessageRef) error) (err error) {
 	sp := parent.ChildOp(bag.ops.readChrono)
 	defer func() { sp.EndErr(err) }()
 	if end.IsZero() {
 		end = bagio.MaxTime
 	}
-	resolved, err := bag.resolve(topics)
+	chains, err := bag.chains(topics, limits != nil)
 	if err != nil {
 		return err
 	}
 	var d Stats
 	defer func() {
 		bag.addStats(d)
-		bag.c.NoteReads(int64(d.MessagesRead), d.BytesRead)
+		bag.noteReads(int64(d.MessagesRead), d.BytesRead)
 		aq.AddIndexProbes(int64(d.EntriesScanned))
 	}()
 	var h mergeHeap
@@ -427,47 +558,58 @@ func (bag *Bag) readMessagesChrono(parent obs.Span, aq *obs.ActiveQuery, topics 
 			it.file.Close()
 		}
 	}()
-	for _, t := range resolved {
-		entries, err := t.EntriesSpan(sp)
-		if err != nil {
-			return err
-		}
-		// Restrict to the queried range up front. The per-topic entry
-		// list is copied (it is sorted below and the topic's cached
-		// slice must stay in append order) — one slice per topic per
-		// query, never per message.
-		positions, all, windows, err := bag.positionsInRange(t, start, end)
-		if err != nil {
-			return err
-		}
-		d.WindowsScanned += windows
-		count := len(positions)
-		if all {
-			count = len(entries)
-		}
-		filtered := make([]container.IndexEntry, 0, count)
-		for i := 0; i < count; i++ {
-			pos := i
-			if !all {
-				pos = int(positions[i])
+	for _, ch := range chains {
+		for _, t := range ch.parts {
+			entries, err := t.EntriesSpan(sp)
+			if err != nil {
+				return err
 			}
-			e := entries[pos]
-			d.EntriesScanned++
-			if e.Time.Before(start) || end.Before(e.Time) {
+			// Restrict to the queried range up front. The per-topic entry
+			// list is copied (it is sorted below and the topic's cached
+			// slice must stay in append order) — one slice per part per
+			// query, never per message.
+			positions, all, windows, err := bag.positionsInRange(t, start, end)
+			if err != nil {
+				return err
+			}
+			d.WindowsScanned += windows
+			count := len(positions)
+			if all {
+				count = len(entries)
+			}
+			if limits != nil {
+				lim, ok := limits[t]
+				if !ok {
+					continue // part created after the snapshot cut
+				}
+				if count > lim {
+					count = lim
+				}
+			}
+			filtered := make([]container.IndexEntry, 0, count)
+			for i := 0; i < count; i++ {
+				pos := i
+				if !all {
+					pos = int(positions[i])
+				}
+				e := entries[pos]
+				d.EntriesScanned++
+				if e.Time.Before(start) || end.Before(e.Time) {
+					continue
+				}
+				filtered = append(filtered, e)
+			}
+			if len(filtered) == 0 {
 				continue
 			}
-			filtered = append(filtered, e)
+			sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].Time.Before(filtered[j].Time) })
+			df, err := t.OpenDataQ(aq)
+			if err != nil {
+				return err
+			}
+			d.Seeks++
+			h = append(h, &mergeItem{topic: t, entries: filtered, file: df})
 		}
-		if len(filtered) == 0 {
-			continue
-		}
-		sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].Time.Before(filtered[j].Time) })
-		df, err := t.OpenDataQ(aq)
-		if err != nil {
-			return err
-		}
-		d.Seeks++
-		h = append(h, &mergeItem{topic: t, entries: filtered, file: df})
 	}
 	heap.Init(&h)
 	// One scratch serves the whole merge: messages are delivered one at
@@ -514,19 +656,19 @@ func (bag *Bag) ExportSpan(ws io.WriteSeeker, opts rosbag.WriterOptions, parent 
 	if err != nil {
 		return err
 	}
-	conns := map[string]uint32{}
-	for _, name := range bag.Topics() {
-		t, err := bag.c.Topic(name)
-		if err != nil {
-			return err
-		}
-		id, err := w.AddConnection(name, t.Connection().Type)
-		if err != nil {
-			return err
-		}
-		conns[name] = id
+	chains, err := bag.chains(nil, false)
+	if err != nil {
+		return err
 	}
-	err = bag.readMessagesChrono(sp, nil, nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	conns := map[string]uint32{}
+	for _, ch := range chains {
+		id, err := w.AddConnection(ch.name, ch.parts[0].Connection().Type)
+		if err != nil {
+			return err
+		}
+		conns[ch.name] = id
+	}
+	err = bag.readMessagesChrono(sp, nil, nil, bagio.MinTime, bagio.MaxTime, nil, func(m MessageRef) error {
 		return w.WriteMessage(conns[m.Conn.Topic], m.Time, m.Data)
 	})
 	if err != nil {

@@ -7,14 +7,18 @@
 //   - Duplicate — data duplication (Fig 6): a one-time re-organization of
 //     an existing bag into a container, performed by the data organizer's
 //     scanner + worker pool.
-//   - Open + ReadMessages — data acquisition (Fig 7): opening a bag only
+//   - Open + Query — data acquisition (Fig 7): opening a bag only
 //     parses the container's sub-directories and builds the tag manager's
 //     hash table; a query by topics resolves back-end paths through the
 //     table and reads each topic's contiguous data file sequentially.
-//   - ReadMessagesTime — query by topics and start–end time (Fig 8):
+//   - Query with Start/End — query by topics and start–end time (Fig 8):
 //     the coarse-grain time index bounds the scan to the windows
 //     overlapping the requested range before the fine-grain timestamp
 //     filter runs.
+//
+// Beyond the paper, CreateLiveBag records *into* the back end live:
+// messages land in time-windowed sealed segments, and a
+// QuerySpec{Follow: true} query tails the recording as it grows.
 package core
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bagio"
@@ -82,6 +87,12 @@ func (o *Options) fill() {
 type BORA struct {
 	root string
 	opts Options
+
+	// liveMu guards live, the registry of in-process recorders holding
+	// live bags mid-recording. Open consults it to wire a recording
+	// bag's handle to its recorder.
+	liveMu sync.Mutex
+	live   map[string]*Recorder
 }
 
 // New opens (creating if needed) a BORA back end rooted at dir.
@@ -105,9 +116,10 @@ func (b *BORA) Obs() *obs.Registry { return b.opts.Obs }
 // this accessor so their spool writes join the same fault domain.
 func (b *BORA) FS() faultfs.Backend { return b.opts.FS }
 
-// List returns the names of the logical bags present on the back end.
-// Unsealed containers — in-flight or crashed duplicates — are not
-// listed; fsck finds those.
+// List returns the names of the logical bags present on the back end:
+// sealed containers, complete live bags, and live bags recording in
+// this process. Unsealed containers — in-flight or crashed duplicates —
+// and crashed live recordings are not listed; fsck finds those.
 func (b *BORA) List() ([]string, error) {
 	ents, err := os.ReadDir(b.root)
 	if err != nil {
@@ -118,19 +130,28 @@ func (b *BORA) List() ([]string, error) {
 		if !ent.IsDir() {
 			continue
 		}
-		if meta, err := container.ReadMeta(filepath.Join(b.root, ent.Name())); err == nil && meta.Sealed() {
-			out = append(out, ent.Name())
+		name := ent.Name()
+		if lm, err := readLiveMeta(filepath.Join(b.root, name)); err == nil {
+			if lm.State == liveStateComplete || b.LiveRecorder(name) != nil {
+				out = append(out, name)
+			}
+			continue
+		}
+		if meta, err := container.ReadMeta(filepath.Join(b.root, name)); err == nil && meta.Sealed() {
+			out = append(out, name)
 		}
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// Remove deletes a logical bag's container.
+// Remove deletes a logical bag — a classic container or a live bag.
 func (b *BORA) Remove(name string) error {
 	dir := filepath.Join(b.root, name)
 	if _, err := os.Stat(filepath.Join(dir, container.MetaFileName)); err != nil {
-		return fmt.Errorf("bora: %q is not a BORA bag: %w", name, err)
+		if _, lerr := os.Stat(filepath.Join(dir, LiveMetaFileName)); lerr != nil {
+			return fmt.Errorf("bora: %q is not a BORA bag: %w", name, err)
+		}
 	}
 	return os.RemoveAll(dir)
 }
@@ -310,6 +331,9 @@ func (b *BORA) Open(name string) (*Bag, error) {
 // zero parent traces it as a root.
 func (b *BORA) OpenSpan(name string, parent obs.Span) (*Bag, error) {
 	sp := parent.ChildOp(b.opts.Obs.Op("core.open"))
+	if _, err := os.Stat(filepath.Join(b.root, name, LiveMetaFileName)); err == nil {
+		return b.openLiveSpan(name, sp)
+	}
 	c, err := container.Open(filepath.Join(b.root, name))
 	if err != nil {
 		sp.EndErr(err)
@@ -329,7 +353,7 @@ func (b *BORA) OpenSpan(name string, parent obs.Span) (*Bag, error) {
 	sp.End()
 	return &Bag{
 		name: name,
-		c:    c,
+		segs: []*container.Container{c},
 		tags: tags,
 		opts: b.opts,
 		ops:  newBagObs(b.opts.Obs),

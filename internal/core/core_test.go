@@ -100,7 +100,7 @@ func TestDuplicateAndOpen(t *testing.T) {
 	}
 }
 
-func TestReadMessagesByTopic(t *testing.T) {
+func TestQueryByTopic(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 5)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -110,7 +110,7 @@ func TestReadMessagesByTopic(t *testing.T) {
 	var got []string
 	var perTopicOrdered = true
 	var last bagio.Time
-	err = bag.ReadMessages([]string{"/imu", "/tf"}, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Topics: []string{"/imu", "/tf"}}, func(m MessageRef) error {
 		if len(got) == 0 || got[len(got)-1] != m.Conn.Topic {
 			got = append(got, m.Conn.Topic)
 			last = bagio.Time{}
@@ -134,12 +134,12 @@ func TestReadMessagesByTopic(t *testing.T) {
 	if bag.Stats().MessagesRead != 75 {
 		t.Errorf("MessagesRead = %d, want 75", bag.Stats().MessagesRead)
 	}
-	if err := bag.ReadMessages([]string{"/missing"}, func(MessageRef) error { return nil }); err == nil {
+	if err := bag.Query(QuerySpec{Topics: []string{"/missing"}}, func(MessageRef) error { return nil }); err == nil {
 		t.Error("unknown topic should fail via the tag table")
 	}
 }
 
-func TestReadMessagesDecodable(t *testing.T) {
+func TestQueryDecodable(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 3)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -147,7 +147,7 @@ func TestReadMessagesDecodable(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	err = bag.ReadMessages([]string{"/camera/rgb/image_color"}, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Topics: []string{"/camera/rgb/image_color"}}, func(m MessageRef) error {
 		var img msgs.Image
 		if err := img.Unmarshal(m.Data); err != nil {
 			t.Errorf("decode image: %v", err)
@@ -166,7 +166,7 @@ func TestReadMessagesDecodable(t *testing.T) {
 	}
 }
 
-func TestReadMessagesTime(t *testing.T) {
+func TestQueryTimeRange(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 20)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -177,7 +177,7 @@ func TestReadMessagesTime(t *testing.T) {
 	start := bagio.TimeFromNanos(base + 5e9)
 	end := bagio.TimeFromNanos(base + 10e9 - 1)
 	var count int
-	err = bag.ReadMessagesTime([]string{"/imu"}, start, end, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Topics: []string{"/imu"}, Start: start, End: end}, func(m MessageRef) error {
 		if m.Time.Before(start) || end.Before(m.Time) {
 			t.Errorf("message at %v outside window", m.Time)
 		}
@@ -199,12 +199,12 @@ func TestReadMessagesTime(t *testing.T) {
 	if st.EntriesScanned > 80 {
 		t.Errorf("EntriesScanned = %d; coarse index did not restrict the scan", st.EntriesScanned)
 	}
-	if err := bag.ReadMessagesTime(nil, end, start, func(MessageRef) error { return nil }); err == nil {
+	if err := bag.Query(QuerySpec{Start: end, End: start}, func(MessageRef) error { return nil }); err == nil {
 		t.Error("inverted time range should fail")
 	}
 }
 
-func TestReadMessagesChrono(t *testing.T) {
+func TestQueryChrono(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 5)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -213,7 +213,7 @@ func TestReadMessagesChrono(t *testing.T) {
 	}
 	var last bagio.Time
 	var count int
-	err = bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Order: OrderTime}, func(m MessageRef) error {
 		if m.Time.Before(last) {
 			t.Errorf("chronological order violated: %v after %v", m.Time, last)
 		}
@@ -261,7 +261,7 @@ func TestExportRoundTrip(t *testing.T) {
 	}
 	// Message payloads must survive the round trip bit-exactly.
 	var original [][]byte
-	if err := bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	if err := bag.Query(QuerySpec{Order: OrderTime}, func(m MessageRef) error {
 		original = append(original, append([]byte(nil), m.Data...))
 		return nil
 	}); err != nil {
@@ -423,13 +423,13 @@ func TestConcurrentQueriesOnOneBag(t *testing.T) {
 			defer wg.Done()
 			switch i % 3 {
 			case 0:
-				errs[i] = bag.ReadMessages([]string{"/imu"}, func(MessageRef) error { counts[i]++; return nil })
+				errs[i] = bag.Query(QuerySpec{Topics: []string{"/imu"}}, func(MessageRef) error { counts[i]++; return nil })
 			case 1:
-				errs[i] = bag.ReadMessagesTime([]string{"/tf"},
-					bagio.TimeFromNanos(base+2e9), bagio.TimeFromNanos(base+6e9),
+				errs[i] = bag.Query(QuerySpec{Topics: []string{"/tf"},
+					Start: bagio.TimeFromNanos(base + 2e9), End: bagio.TimeFromNanos(base + 6e9)},
 					func(MessageRef) error { counts[i]++; return nil })
 			case 2:
-				errs[i] = bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime,
+				errs[i] = bag.Query(QuerySpec{Order: OrderTime},
 					func(MessageRef) error { counts[i]++; return nil })
 			}
 		}(i)

@@ -58,7 +58,7 @@ func TestRecorderOnlineMode(t *testing.T) {
 	start := bagio.TimeFromNanos(base + 1e9)
 	end := bagio.TimeFromNanos(base + 2e9)
 	var count int
-	if err := bag.ReadMessagesTime([]string{"/imu"}, start, end, func(m MessageRef) error {
+	if err := bag.Query(QuerySpec{Topics: []string{"/imu"}, Start: start, End: end}, func(m MessageRef) error {
 		count++
 		return nil
 	}); err != nil {
@@ -143,7 +143,7 @@ func TestRebagByTopic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, kept, err := b.Rebag(bag, "imu_only", FilterSpec{Topics: []string{"/imu"}})
+	sub, kept, err := b.Rebag(bag, "imu_only", QuerySpec{Topics: []string{"/imu"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestRebagTimeAndPredicate(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := int64(1_000_000_000_000_000_000)
-	spec := FilterSpec{
+	spec := QuerySpec{
 		Topics: []string{"/imu"},
 		Start:  bagio.TimeFromNanos(base + 2e9),
 		End:    bagio.TimeFromNanos(base + 5e9 - 1),
@@ -185,7 +185,7 @@ func TestRebagTimeAndPredicate(t *testing.T) {
 	if kept != 15 { // 3 seconds × 10 Hz = 30 in window, half even
 		t.Errorf("kept = %d, want 15", kept)
 	}
-	err = sub.ReadMessages(nil, func(m MessageRef) error {
+	err = sub.Query(QuerySpec{}, func(m MessageRef) error {
 		var imu msgs.Imu
 		if err := imu.Unmarshal(m.Data); err != nil {
 			return err
@@ -198,10 +198,10 @@ func TestRebagTimeAndPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.Rebag(nil, "x", FilterSpec{}); err == nil {
+	if _, _, err := b.Rebag(nil, "x", QuerySpec{}); err == nil {
 		t.Error("nil source accepted")
 	}
-	if _, _, err := b.Rebag(bag, "full", FilterSpec{}); err == nil {
+	if _, _, err := b.Rebag(bag, "full", QuerySpec{}); err == nil {
 		t.Error("rebag onto existing name accepted")
 	}
 }
@@ -229,7 +229,7 @@ func TestMultiBag(t *testing.T) {
 
 	var mu sync.Mutex
 	perBag := map[string]int{}
-	err = mb.ReadMessages([]string{"/imu"}, func(m MultiRef) error {
+	err = mb.Query(QuerySpec{Topics: []string{"/imu"}}, func(m MultiRef) error {
 		if m.Conn.Topic != "/imu" {
 			t.Errorf("topic %s", m.Conn.Topic)
 		}
@@ -255,14 +255,16 @@ func TestMultiBag(t *testing.T) {
 	base := int64(1_000_000_000_000_000_000)
 	var count int64
 	var cmu sync.Mutex
-	err = mb.ReadMessagesTime([]string{"/imu"},
-		bagio.TimeFromNanos(base), bagio.TimeFromNanos(base+1e9-1),
-		func(m MultiRef) error {
-			cmu.Lock()
-			count++
-			cmu.Unlock()
-			return nil
-		})
+	err = mb.Query(QuerySpec{
+		Topics: []string{"/imu"},
+		Start:  bagio.TimeFromNanos(base),
+		End:    bagio.TimeFromNanos(base + 1e9 - 1),
+	}, func(m MultiRef) error {
+		cmu.Lock()
+		count++
+		cmu.Unlock()
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestMultiBag(t *testing.T) {
 	}
 }
 
-func TestReadMessagesParallel(t *testing.T) {
+func TestQueryParallel(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 8)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -287,7 +289,7 @@ func TestReadMessagesParallel(t *testing.T) {
 	}
 	var mu sync.Mutex
 	perTopic := map[string][]bagio.Time{}
-	err = bag.ReadMessagesParallel(nil, 4, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Workers: 4}, func(m MessageRef) error {
 		mu.Lock()
 		perTopic[m.Conn.Topic] = append(perTopic[m.Conn.Topic], m.Time)
 		mu.Unlock()
@@ -314,16 +316,16 @@ func TestReadMessagesParallel(t *testing.T) {
 	}
 	// Serial and parallel agree on counts.
 	serial := 0
-	if err := bag.ReadMessages(nil, func(MessageRef) error { serial++; return nil }); err != nil {
+	if err := bag.Query(QuerySpec{}, func(MessageRef) error { serial++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if serial != total {
 		t.Errorf("serial %d vs parallel %d", serial, total)
 	}
-	// workers <= 0 and workers == 1 both work.
+	// Workers: -1 (auto) also runs the parallel plan.
 	n := 0
 	var nmu sync.Mutex
-	if err := bag.ReadMessagesParallel([]string{"/imu"}, 0, func(MessageRef) error {
+	if err := bag.Query(QuerySpec{Topics: []string{"/imu"}, Workers: -1}, func(MessageRef) error {
 		nmu.Lock()
 		n++
 		nmu.Unlock()
@@ -334,12 +336,12 @@ func TestReadMessagesParallel(t *testing.T) {
 	if n != 80 {
 		t.Errorf("imu parallel count = %d", n)
 	}
-	if err := bag.ReadMessagesParallel([]string{"/missing"}, 2, func(MessageRef) error { return nil }); err == nil {
+	if err := bag.Query(QuerySpec{Topics: []string{"/missing"}, Workers: 2}, func(MessageRef) error { return nil }); err == nil {
 		t.Error("unknown topic accepted")
 	}
 }
 
-func TestReadMessagesTimeParallel(t *testing.T) {
+func TestQueryTimeParallel(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 10)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -351,7 +353,7 @@ func TestReadMessagesTimeParallel(t *testing.T) {
 	end := bagio.TimeFromNanos(base + 5e9 - 1)
 	var mu sync.Mutex
 	count := 0
-	err = bag.ReadMessagesTimeParallel([]string{"/imu", "/tf"}, start, end, 2, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Topics: []string{"/imu", "/tf"}, Start: start, End: end, Workers: 2}, func(m MessageRef) error {
 		if m.Time.Before(start) || end.Before(m.Time) {
 			t.Errorf("message at %v outside window", m.Time)
 		}
@@ -394,7 +396,7 @@ func TestStripedBackendEndToEnd(t *testing.T) {
 	}
 	// Queries behave identically over the striped layout.
 	var count int
-	if err := bag.ReadMessages([]string{"/imu"}, func(m MessageRef) error {
+	if err := bag.Query(QuerySpec{Topics: []string{"/imu"}}, func(m MessageRef) error {
 		var imu msgs.Imu
 		if err := imu.Unmarshal(m.Data); err != nil {
 			return err
@@ -409,9 +411,11 @@ func TestStripedBackendEndToEnd(t *testing.T) {
 	}
 	base := int64(1_000_000_000_000_000_000)
 	count = 0
-	if err := bag.ReadMessagesTime([]string{"/tf"},
-		bagio.TimeFromNanos(base+1e9), bagio.TimeFromNanos(base+3e9-1),
-		func(MessageRef) error { count++; return nil }); err != nil {
+	if err := bag.Query(QuerySpec{
+		Topics: []string{"/tf"},
+		Start:  bagio.TimeFromNanos(base + 1e9),
+		End:    bagio.TimeFromNanos(base + 3e9 - 1),
+	}, func(MessageRef) error { count++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if count != 10 {
@@ -504,7 +508,7 @@ func TestChronoEqualsSortedUnion(t *testing.T) {
 		time  bagio.Time
 	}
 	var union []rec
-	if err := bag.ReadMessages(nil, func(m MessageRef) error {
+	if err := bag.Query(QuerySpec{}, func(m MessageRef) error {
 		union = append(union, rec{m.Conn.Topic, m.Time})
 		return nil
 	}); err != nil {
@@ -513,7 +517,7 @@ func TestChronoEqualsSortedUnion(t *testing.T) {
 	sort.SliceStable(union, func(i, j int) bool { return union[i].time.Before(union[j].time) })
 
 	var merged []rec
-	if err := bag.ReadMessagesChrono(nil, bagio.MinTime, bagio.MaxTime, func(m MessageRef) error {
+	if err := bag.Query(QuerySpec{Order: OrderTime}, func(m MessageRef) error {
 		merged = append(merged, rec{m.Conn.Topic, m.Time})
 		return nil
 	}); err != nil {

@@ -5,13 +5,6 @@ import (
 	"sync"
 )
 
-// FilterSpec is the spec Rebag historically took; it is now the one
-// query-spec type shared across the core API.
-//
-// Deprecated: use QuerySpec (the Keep predicate is its Predicate
-// field).
-type FilterSpec = QuerySpec
-
 // Rebag materializes the subset of bag selected by spec as a new
 // logical bag on the same back end — the paper's rebagging operation,
 // performed container-to-container so the result is already

@@ -38,32 +38,42 @@ type Info struct {
 // only index files (no message data is touched).
 func (bag *Bag) Info() (Info, error) {
 	info := Info{Name: bag.name}
-	for i, name := range bag.Topics() {
-		t, err := bag.c.Topic(name)
-		if err != nil {
-			return info, err
-		}
-		entries, err := t.Entries()
-		if err != nil {
-			return info, err
-		}
+	chains, err := bag.chains(nil, false)
+	if err != nil {
+		return info, err
+	}
+	for i, ch := range chains {
 		ti := TopicInfo{
-			Topic:   name,
-			Type:    t.Connection().Type,
-			Striped: t.Striped(),
+			Topic:   ch.name,
+			Type:    ch.parts[0].Connection().Type,
+			Striped: ch.parts[0].Striped(),
 		}
-		ti.Messages = len(entries)
-		for _, e := range entries {
-			ti.Bytes += int64(e.Length)
-		}
-		if len(entries) > 0 {
-			ti.Start, ti.End, err = t.TimeRange()
+		for _, t := range ch.parts {
+			entries, err := t.Entries()
 			if err != nil {
 				return info, err
 			}
-			if span := ti.End.Sub(ti.Start); span > 0 && len(entries) > 1 {
-				ti.RateHz = float64(len(entries)-1) / span.Seconds()
+			ti.Messages += len(entries)
+			for _, e := range entries {
+				ti.Bytes += int64(e.Length)
 			}
+			if len(entries) == 0 {
+				continue
+			}
+			// Range from the entry scan rather than t.TimeRange(): the
+			// latter memoizes, which would freeze a building segment's
+			// still-growing range on live-wired handles.
+			for _, e := range entries {
+				if ti.Start.IsZero() || e.Time.Before(ti.Start) {
+					ti.Start = e.Time
+				}
+				if ti.End.Before(e.Time) {
+					ti.End = e.Time
+				}
+			}
+		}
+		if span := ti.End.Sub(ti.Start); span > 0 && ti.Messages > 1 {
+			ti.RateHz = float64(ti.Messages-1) / span.Seconds()
 		}
 		info.Topics = append(info.Topics, ti)
 		info.Messages += ti.Messages

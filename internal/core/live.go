@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+	"repro/internal/tagman"
+)
+
+// Live bag layout. A live bag is a directory holding a .bora_live meta
+// file plus one standard container per time-windowed segment:
+//
+//	<root>/<name>/.bora_live     state=recording|complete
+//	<root>/<name>/seg-00000000/  container (sealed once its window closes)
+//	<root>/<name>/seg-00000001/  container (building = the live tail)
+//
+// While recording, the meta says "recording" and exactly the newest
+// segment is building; each rotation seals the old segment through the
+// ordinary building→sealed container lifecycle, so at any instant the
+// sealed prefix is fully consistent and a crash loses at most the
+// building segment's unflushed index tail (container.Repair truncates
+// it back to the flushed prefix, exactly as in the crash sweep).
+// Completion writes "complete" plus a fresh generation token, making
+// the bag a plain multi-segment container set that opens anywhere.
+const (
+	// LiveMetaFileName marks a live bag directory.
+	LiveMetaFileName = ".bora_live"
+
+	liveMetaMagic     = "bora-live v1"
+	liveStateRecord   = "recording"
+	liveStateComplete = "complete"
+
+	segmentPrefix = "seg-"
+)
+
+// DefaultSegmentWindow is the live rotation window when CreateLiveBag
+// is given none: long enough that segment-count overhead is noise,
+// short enough that a mission's sealed prefix stays fresh.
+const DefaultSegmentWindow = time.Minute
+
+// liveMeta is the parsed .bora_live file.
+type liveMeta struct {
+	State  string
+	Window int64  // rotation window (ns)
+	Gen    uint64 // generation minted at completion (complete only)
+}
+
+func segmentDir(bagDir string, n int) string {
+	return filepath.Join(bagDir, fmt.Sprintf("%s%08d", segmentPrefix, n))
+}
+
+// readLiveMeta parses dir/.bora_live; os.IsNotExist(err) distinguishes
+// "not a live bag" from a malformed one.
+func readLiveMeta(dir string) (*liveMeta, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, LiveMetaFileName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(buf), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != liveMetaMagic {
+		return nil, fmt.Errorf("bora: unrecognized live meta in %s", dir)
+	}
+	m := &liveMeta{}
+	for _, line := range lines[1:] {
+		switch {
+		case strings.HasPrefix(line, "state="):
+			m.State = strings.TrimPrefix(line, "state=")
+		case strings.HasPrefix(line, "window="):
+			w, err := strconv.ParseInt(strings.TrimPrefix(line, "window="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bora: malformed live meta line %q in %s", line, dir)
+			}
+			m.Window = w
+		case strings.HasPrefix(line, "gen="):
+			g, err := strconv.ParseUint(strings.TrimPrefix(line, "gen="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bora: malformed live meta line %q in %s", line, dir)
+			}
+			m.Gen = g
+		case line == "":
+		default:
+			return nil, fmt.Errorf("bora: malformed live meta line %q in %s", line, dir)
+		}
+	}
+	if m.State != liveStateRecord && m.State != liveStateComplete {
+		return nil, fmt.Errorf("bora: live meta state %q in %s", m.State, dir)
+	}
+	return m, nil
+}
+
+// writeLiveMeta persists m atomically (temp + rename), the same
+// all-or-nothing discipline as container metas.
+func writeLiveMeta(fs faultfs.Backend, dir string, m *liveMeta) error {
+	var b strings.Builder
+	b.WriteString(liveMetaMagic)
+	b.WriteByte('\n')
+	b.WriteString("state=" + m.State + "\n")
+	b.WriteString("window=" + strconv.FormatInt(m.Window, 10) + "\n")
+	if m.Gen > 0 {
+		b.WriteString("gen=" + strconv.FormatUint(m.Gen, 10) + "\n")
+	}
+	if err := faultfs.WriteFileAtomic(fs, filepath.Join(dir, LiveMetaFileName), []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("bora: write live meta: %w", err)
+	}
+	return nil
+}
+
+// segmentDirs lists dir's seg-* sub-directories, sorted (segment
+// creation order — the fixed-width numbering makes the sort numeric).
+func segmentDirs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range ents {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), segmentPrefix) {
+			out = append(out, filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CreateLiveBag starts a live recording: a segmented bag that rotates a
+// fresh sealed container every window (zero selects
+// DefaultSegmentWindow) and is queryable mid-recording — Open on this
+// instance returns a handle wired to the recorder, and
+// QuerySpec{Follow: true} tails it. Exactly one recorder may hold a
+// name at a time.
+func (b *BORA) CreateLiveBag(name string, window time.Duration) (*Recorder, error) {
+	if window <= 0 {
+		window = DefaultSegmentWindow
+	}
+	dir := filepath.Join(b.root, name)
+	if _, err := os.Stat(dir); err == nil {
+		return nil, fmt.Errorf("bora: bag %q already exists", name)
+	}
+	if err := b.opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bora: create live bag: %w", err)
+	}
+	if err := writeLiveMeta(b.opts.FS, dir, &liveMeta{State: liveStateRecord, Window: int64(window)}); err != nil {
+		return nil, err
+	}
+	c, err := container.CreateFS(segmentDir(dir, 0), b.opts.FS)
+	if err != nil {
+		return nil, err
+	}
+	seg := &recSegment{c: c, topics: map[string]*recordTopic{}}
+	r := &Recorder{
+		b: b, name: name, live: true, window: int64(window),
+		segs: []*recSegment{seg}, cur: seg,
+		connIDs: map[string]uint32{},
+	}
+	if err := b.registerLive(name, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (b *BORA) registerLive(name string, r *Recorder) error {
+	b.liveMu.Lock()
+	defer b.liveMu.Unlock()
+	if b.live == nil {
+		b.live = map[string]*Recorder{}
+	}
+	if _, ok := b.live[name]; ok {
+		return fmt.Errorf("bora: bag %q is already recording", name)
+	}
+	b.live[name] = r
+	return nil
+}
+
+func (b *BORA) unregisterLive(name string, r *Recorder) {
+	b.liveMu.Lock()
+	if b.live[name] == r {
+		delete(b.live, name)
+	}
+	b.liveMu.Unlock()
+}
+
+// LiveRecorder returns the in-process recorder currently holding name,
+// or nil.
+func (b *BORA) LiveRecorder(name string) *Recorder {
+	b.liveMu.Lock()
+	defer b.liveMu.Unlock()
+	return b.live[name]
+}
+
+// openLiveSpan opens a live-layout bag. A recording bag resolves to a
+// handle wired to the in-process recorder (its topic chains are
+// re-snapshotted per query, so the handle tracks segment rotation); a
+// complete bag opens every sealed segment.
+func (b *BORA) openLiveSpan(name string, sp obs.Span) (*Bag, error) {
+	dir := filepath.Join(b.root, name)
+	lm, err := readLiveMeta(dir)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	if lm.State == liveStateRecord {
+		rec := b.LiveRecorder(name)
+		if rec == nil {
+			err := fmt.Errorf("bora: bag %q is mid-recording with no live recorder (crashed or foreign process; repair it first)", name)
+			sp.EndErr(err)
+			return nil, err
+		}
+		tags := tagman.BuildSpan(rec.topicPaths(), sp)
+		sp.End()
+		return &Bag{name: name, rec: rec, tags: tags, opts: b.opts, ops: newBagObs(b.opts.Obs)}, nil
+	}
+	segDirs, err := segmentDirs(dir)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	// Zero segments is a legitimate (if empty) sealed bag: a repair of a
+	// recording that crashed before its first flush recovers nothing but
+	// still seals the name. It opens as a bag with no topics.
+	segs := make([]*container.Container, 0, len(segDirs))
+	paths := map[string]string{}
+	for _, sd := range segDirs {
+		c, err := container.Open(sd)
+		if err != nil {
+			sp.EndErr(err)
+			return nil, err
+		}
+		c.SetObs(b.opts.Obs)
+		for _, topic := range c.Topics() {
+			if _, ok := paths[topic]; !ok {
+				p, err := c.TopicPath(topic)
+				if err != nil {
+					sp.EndErr(err)
+					return nil, err
+				}
+				paths[topic] = p
+			}
+		}
+		segs = append(segs, c)
+	}
+	tags := tagman.BuildSpan(paths, sp)
+	sp.End()
+	return &Bag{name: name, segs: segs, liveGen: lm.Gen, tags: tags, opts: b.opts, ops: newBagObs(b.opts.Obs)}, nil
+}
+
+// RepairLive recovers a live bag abandoned mid-recording (a crashed
+// recorder): every segment is repaired to its consistent indexed prefix
+// through container.Repair — the building tail segment loses at most
+// its unflushed index tail — and the live meta flips to complete with a
+// fresh generation. Segments left with nothing recoverable are removed.
+// Repairing an already-complete live bag is a no-op.
+func (b *BORA) RepairLive(name string) error {
+	dir := filepath.Join(b.root, name)
+	lm, err := readLiveMeta(dir)
+	if err != nil {
+		return err
+	}
+	if lm.State == liveStateComplete {
+		return nil
+	}
+	if b.LiveRecorder(name) != nil {
+		return fmt.Errorf("bora: bag %q is still recording in this process", name)
+	}
+	segDirs, err := segmentDirs(dir)
+	if err != nil {
+		return err
+	}
+	for _, sd := range segDirs {
+		if _, err := container.RepairFS(sd, b.opts.FS); err != nil {
+			return fmt.Errorf("bora: repair live segment %s: %w", sd, err)
+		}
+		// A segment that lost every topic still reseals as an empty
+		// container; drop it only if even the reseal failed to leave an
+		// openable tree.
+		if _, err := container.ReadMeta(sd); err != nil {
+			if err := os.RemoveAll(sd); err != nil {
+				return err
+			}
+		}
+	}
+	return writeLiveMeta(b.opts.FS, dir, &liveMeta{
+		State: liveStateComplete, Window: lm.Window, Gen: container.NewGen(),
+	})
+}
+
+// ProbeBag is the handle-cache staleness probe for one bag directory,
+// covering both layouts with one small meta read. recording=true means
+// a live recorder currently holds the bag (a cached handle is fresh iff
+// it is wired to an in-process recorder); otherwise gen is the sealed
+// generation token to compare (the live meta's completion gen, or the
+// classic container's seal gen).
+func (b *BORA) ProbeBag(name string) (gen uint64, recording bool, err error) {
+	dir := filepath.Join(b.root, name)
+	if lm, err := readLiveMeta(dir); err == nil {
+		if lm.State == liveStateRecord {
+			return 0, true, nil
+		}
+		return lm.Gen, false, nil
+	} else if !os.IsNotExist(err) {
+		return 0, false, err
+	}
+	meta, err := container.ReadMeta(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	if !meta.Sealed() {
+		return 0, false, container.ErrUnsealed
+	}
+	return meta.Gen, false, nil
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-
-	"repro/internal/bagio"
 )
 
 // MultiBag queries the same topics across many logical bags at once —
@@ -98,20 +96,6 @@ func (mb *MultiBag) Query(spec QuerySpec, fn func(MultiRef) error) error {
 		}
 	}
 	return nil
-}
-
-// ReadMessages extracts the topics from every bag concurrently.
-//
-// Deprecated: use Query.
-func (mb *MultiBag) ReadMessages(topics []string, fn func(MultiRef) error) error {
-	return mb.Query(QuerySpec{Topics: topics}, fn)
-}
-
-// ReadMessagesTime is ReadMessages bounded to [start, end].
-//
-// Deprecated: use Query with Start/End set.
-func (mb *MultiBag) ReadMessagesTime(topics []string, start, end bagio.Time, fn func(MultiRef) error) error {
-	return mb.Query(QuerySpec{Topics: topics, Start: start, End: end}, fn)
 }
 
 // Stats sums the member bags' counters.

@@ -41,15 +41,15 @@ func TestObsCoversAllLayers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bag.ReadMessages([]string{"/imu"}, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{Topics: []string{"/imu"}}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	start := bagio.TimeFromNanos(1_000_000_000_000_000_000)
 	end := bagio.TimeFromNanos(1_000_000_000_000_000_000 + 2e9)
-	if err := bag.ReadMessagesTime(nil, start, end, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{Start: start, End: end}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := bag.ReadMessagesParallel(nil, 2, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{Workers: 2}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if err := bag.Export(&discardSeeker{}, rosbag.WriterOptions{}); err != nil {
@@ -92,7 +92,7 @@ func TestObsDisabledIsInert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bag.ReadMessages(nil, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -124,7 +124,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	var bytes int64
 	read := func(bag *Bag) time.Duration {
 		start := time.Now()
-		if err := bag.ReadMessages(nil, func(m MessageRef) error {
+		if err := bag.Query(QuerySpec{}, func(m MessageRef) error {
 			bytes += int64(len(m.Data))
 			return nil
 		}); err != nil {

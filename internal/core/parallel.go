@@ -10,45 +10,21 @@ import (
 	"repro/internal/obs"
 )
 
-// ReadMessagesParallel is ReadMessages with the per-topic streams read
-// concurrently — the "multiple levels of parallelism in a file system
-// can be exploited to further improve I/O performance" note of Fig 7.
-// Because each topic is an independent contiguous file, topics can
-// stream in parallel without seek interference on modern devices.
-//
-// Messages within one topic arrive in timestamp order; across topics
-// the interleaving is arbitrary. fn may be called from several
-// goroutines concurrently and must be goroutine-safe. workers ≤ 0
-// selects GOMAXPROCS.
-//
-// Deprecated: use Query with Workers set (negative for GOMAXPROCS).
-func (bag *Bag) ReadMessagesParallel(topics []string, workers int, fn func(MessageRef) error) error {
-	if workers <= 0 {
-		workers = -1
-	}
-	return bag.Query(QuerySpec{Topics: topics, Workers: workers}, fn)
-}
-
-// ReadMessagesTimeParallel is ReadMessagesTime with concurrent per-topic
-// streams.
-//
-// Deprecated: use Query with Start/End and Workers set.
-func (bag *Bag) ReadMessagesTimeParallel(topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) error {
-	if workers <= 0 {
-		workers = -1
-	}
-	return bag.Query(QuerySpec{Topics: topics, Start: start, End: end, Workers: workers}, fn)
-}
-
 // errReadCancelled aborts a topic stream whose run has already failed;
 // it never escapes readParallel.
 var errReadCancelled = errors.New("core: parallel read cancelled")
 
-// readParallel fans the per-topic streams out over a worker pool and
-// fails fast: the first error stops dispatch of unstarted topics and
-// cancels in-flight topic reads at their next message, so a poisoned
-// topic cannot force the remaining topics to stream in full (nor fn to
-// keep firing) before the error surfaces.
+// readParallel fans the per-topic streams out over a worker pool — the
+// "multiple levels of parallelism in a file system can be exploited to
+// further improve I/O performance" note of Fig 7 — and fails fast: the
+// first error stops dispatch of unstarted topics and cancels in-flight
+// topic reads at their next message, so a poisoned topic cannot force
+// the remaining topics to stream in full (nor fn to keep firing) before
+// the error surfaces.
+//
+// The unit of work is one topic chain: a multi-segment topic's parts
+// stream sequentially inside one worker, preserving per-topic order
+// even when the topic spans live segments.
 //
 // Each concurrent topic stream draws its own scratch buffer from the
 // shared scratchPool (readTopicRange), so concurrent workers never
@@ -58,19 +34,27 @@ var errReadCancelled = errors.New("core: parallel read cancelled")
 func (bag *Bag) readParallel(parent obs.Span, aq *obs.ActiveQuery, topics []string, start, end bagio.Time, workers int, fn func(MessageRef) error) (err error) {
 	sp := parent.ChildOp(bag.ops.readParallel)
 	defer func() { sp.EndErr(err) }()
-	resolved, err := bag.resolve(topics)
+	chains, err := bag.chains(topics, false)
 	if err != nil {
 		return err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(resolved) {
-		workers = len(resolved)
+	if workers > len(chains) {
+		workers = len(chains)
+	}
+	readChain := func(tsp func() obs.Span, ch topicChain, deliver func(MessageRef) error) error {
+		for _, t := range ch.parts {
+			if err := bag.readTopicRange(tsp(), aq, t, start, end, deliver); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if workers <= 1 {
-		for _, t := range resolved {
-			if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), aq, t, start, end, fn); err != nil {
+		for _, ch := range chains {
+			if err := readChain(func() obs.Span { return sp.ChildOp(bag.ops.readTopic) }, ch, fn); err != nil {
 				return err
 			}
 		}
@@ -105,14 +89,13 @@ func (bag *Bag) readParallel(parent obs.Span, aq *obs.ActiveQuery, topics []stri
 				}
 				// Fork: each concurrent topic stream gets its own trace lane
 				// with a stable, disjoint track id.
-				tsp := sp.ForkOp(bag.ops.readTopic)
-				if err := bag.readTopicRange(tsp, aq, resolved[i], start, end, guarded); err != nil && err != errReadCancelled {
+				if err := readChain(func() obs.Span { return sp.ForkOp(bag.ops.readTopic) }, chains[i], guarded); err != nil && err != errReadCancelled {
 					fail(err)
 				}
 			}
 		}()
 	}
-	for i := range resolved {
+	for i := range chains {
 		if stop.Load() {
 			break
 		}

@@ -56,7 +56,7 @@ func TestReadParallelFailFast(t *testing.T) {
 	}
 	poison := errors.New("poisoned topic")
 	var delivered atomic.Int64
-	err = bag.ReadMessagesParallel(nil, workers, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Workers: workers}, func(m MessageRef) error {
 		if m.Conn.Topic == "/t0" {
 			return poison
 		}
@@ -88,7 +88,7 @@ func TestReadParallelManyWorkersRace(t *testing.T) {
 	}
 	var mu sync.Mutex
 	perTopicSeen := map[string]int{}
-	err = bag.ReadMessagesParallel(nil, 6, func(m MessageRef) error {
+	err = bag.Query(QuerySpec{Workers: 6}, func(m MessageRef) error {
 		mu.Lock()
 		perTopicSeen[m.Conn.Topic]++
 		mu.Unlock()

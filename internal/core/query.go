@@ -27,9 +27,8 @@ const (
 
 // QuerySpec describes one read over an open bag. It is the single query
 // spec across the core API: Bag.Query, MultiBag.Query and BORA.Rebag
-// all take it, and the legacy ReadMessages* entry points are thin
-// wrappers that fill one in. The zero value reads every message of
-// every topic, grouped by topic.
+// all take it. The zero value reads every message of every topic,
+// grouped by topic.
 type QuerySpec struct {
 	// Topics to read; empty selects every topic in the bag.
 	Topics []string
@@ -51,6 +50,16 @@ type QuerySpec struct {
 	// Predicate, when non-nil, is consulted per message before the
 	// callback; messages it rejects are read but not delivered.
 	Predicate func(MessageRef) bool
+	// Follow tails a bag that is still recording: the query first
+	// delivers a consistent snapshot of everything recorded before it
+	// subscribed (in timestamp order, like OrderTime), then streams
+	// each new message in write order as it lands, blocking between
+	// writes. It returns only when the recording seals or the context
+	// is cancelled — pass a context (QueryContext) to bound it. On a
+	// bag that is not recording, Follow delivers the chronological
+	// snapshot and returns. Follow queries are serial: Workers must be
+	// 0, and Order is ignored.
+	Follow bool
 }
 
 // cancelCheckBatch is how many messages a cancellable query reads
@@ -137,11 +146,16 @@ func (bag *Bag) QuerySpanContext(ctx context.Context, parent obs.Span, spec Quer
 	// per-message hot loops never touch the context.
 	aq := obs.QueryFromContext(ctx)
 	switch {
+	case spec.Follow:
+		if spec.Workers != 0 {
+			return fmt.Errorf("bora: Follow queries are serial; Workers must be 0, got %d", spec.Workers)
+		}
+		return bag.followQuery(ctx, parent, aq, spec.Topics, spec.Start, end, fn)
 	case spec.Order == OrderTime:
 		if spec.Workers != 0 {
 			return fmt.Errorf("bora: OrderTime queries are serial; Workers must be 0, got %d", spec.Workers)
 		}
-		return bag.readMessagesChrono(parent, aq, spec.Topics, spec.Start, end, fn)
+		return bag.readMessagesChrono(parent, aq, spec.Topics, spec.Start, end, nil, fn)
 	case spec.Workers != 0:
 		return bag.readParallel(parent, aq, spec.Topics, spec.Start, end, spec.Workers, fn)
 	default:
@@ -159,13 +173,15 @@ func (bag *Bag) readSerial(parent obs.Span, aq *obs.ActiveQuery, topics []string
 	}
 	sp := parent.ChildOp(op)
 	defer func() { sp.EndErr(err) }()
-	resolved, err := bag.resolve(topics)
+	chains, err := bag.chains(topics, false)
 	if err != nil {
 		return err
 	}
-	for _, t := range resolved {
-		if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), aq, t, start, end, fn); err != nil {
-			return err
+	for _, ch := range chains {
+		for _, t := range ch.parts {
+			if err := bag.readTopicRange(sp.ChildOp(bag.ops.readTopic), aq, t, start, end, fn); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

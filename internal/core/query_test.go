@@ -47,11 +47,12 @@ func byTopic(recs []queryRec) map[string][]queryRec {
 	return m
 }
 
-// TestQueryLegacyEquivalence is the migration matrix: for every legacy
-// read entry point, across topic selections and time windows, the
-// QuerySpec form must deliver byte-identical messages — in identical
-// order for serial plans, identical per-topic streams for parallel ones.
-func TestQueryLegacyEquivalence(t *testing.T) {
+// TestQueryPlanEquivalence is the plan matrix: across topic selections
+// and time windows, every execution plan of Query (serial, chrono,
+// parallel, parallel with default workers) must deliver byte-identical
+// per-topic streams — and the serial plans an identical sequence — for
+// the same spec.
+func TestQueryPlanEquivalence(t *testing.T) {
 	b := newBORA(t)
 	src := makeSourceBag(t, t.TempDir(), 6)
 	bag, _, err := b.Duplicate(src, "bag1")
@@ -68,78 +69,53 @@ func TestQueryLegacyEquivalence(t *testing.T) {
 		"imu+tf":  {"/imu", "/tf"},
 		"reorder": {"/tf", "/camera/rgb/image_color", "/imu"},
 	}
-	type pair struct {
-		legacy  func(topics []string, fn func(MessageRef) error) error
-		query   func(topics []string, fn func(MessageRef) error) error
-		ordered bool // exact sequence must match, not just per-topic streams
+	type plan struct {
+		spec    func(topics []string) QuerySpec
+		ordered bool // exact sequence must match the serial baseline
 	}
-	cases := map[string]pair{
-		"ReadMessages": {
-			legacy: bag.ReadMessages,
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics}, fn)
+	cases := map[string]plan{
+		"SerialTime": {
+			spec: func(topics []string) QuerySpec {
+				return QuerySpec{Topics: topics, Start: winStart, End: winEnd}
 			},
 			ordered: true,
 		},
-		"ReadMessagesTime": {
-			legacy: func(topics []string, fn func(MessageRef) error) error {
-				return bag.ReadMessagesTime(topics, winStart, winEnd, fn)
-			},
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics, Start: winStart, End: winEnd}, fn)
-			},
-			ordered: true,
-		},
-		"ReadMessagesChrono": {
-			legacy: func(topics []string, fn func(MessageRef) error) error {
-				return bag.ReadMessagesChrono(topics, winStart, winEnd, fn)
-			},
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics, Start: winStart, End: winEnd, Order: OrderTime}, fn)
-			},
-			ordered: true,
-		},
-		"ReadMessagesParallel": {
-			legacy: func(topics []string, fn func(MessageRef) error) error {
-				return bag.ReadMessagesParallel(topics, 2, fn)
-			},
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics, Workers: 2}, fn)
+		"Chrono": {
+			spec: func(topics []string) QuerySpec {
+				return QuerySpec{Topics: topics, Start: winStart, End: winEnd, Order: OrderTime}
 			},
 		},
-		"ReadMessagesParallelDefaultWorkers": {
-			legacy: func(topics []string, fn func(MessageRef) error) error {
-				return bag.ReadMessagesParallel(topics, 0, fn)
-			},
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics, Workers: -1}, fn)
+		"Parallel": {
+			spec: func(topics []string) QuerySpec {
+				return QuerySpec{Topics: topics, Start: winStart, End: winEnd, Workers: 2}
 			},
 		},
-		"ReadMessagesTimeParallel": {
-			legacy: func(topics []string, fn func(MessageRef) error) error {
-				return bag.ReadMessagesTimeParallel(topics, winStart, winEnd, 2, fn)
-			},
-			query: func(topics []string, fn func(MessageRef) error) error {
-				return bag.Query(QuerySpec{Topics: topics, Start: winStart, End: winEnd, Workers: 2}, fn)
+		"ParallelDefaultWorkers": {
+			spec: func(topics []string) QuerySpec {
+				return QuerySpec{Topics: topics, Start: winStart, End: winEnd, Workers: -1}
 			},
 		},
 	}
 	for setName, topics := range topicSets {
+		want := collect(t, func(fn func(MessageRef) error) error {
+			return bag.Query(QuerySpec{Topics: topics, Start: winStart, End: winEnd}, fn)
+		})
+		if len(want) == 0 {
+			t.Fatal("serial baseline delivered no messages; matrix case is vacuous")
+		}
 		for caseName, c := range cases {
 			t.Run(fmt.Sprintf("%s/%s", caseName, setName), func(t *testing.T) {
-				want := collect(t, func(fn func(MessageRef) error) error { return c.legacy(topics, fn) })
-				got := collect(t, func(fn func(MessageRef) error) error { return c.query(topics, fn) })
-				if len(want) == 0 {
-					t.Fatal("legacy read delivered no messages; matrix case is vacuous")
-				}
+				got := collect(t, func(fn func(MessageRef) error) error {
+					return bag.Query(c.spec(topics), fn)
+				})
 				if c.ordered {
 					if !reflect.DeepEqual(got, want) {
-						t.Fatalf("Query delivery differs from legacy: got %d msgs, want %d", len(got), len(want))
+						t.Fatalf("plan delivery differs from serial: got %d msgs, want %d", len(got), len(want))
 					}
 					return
 				}
 				if !reflect.DeepEqual(byTopic(got), byTopic(want)) {
-					t.Fatalf("Query per-topic streams differ from legacy: got %d msgs, want %d", len(got), len(want))
+					t.Fatalf("plan per-topic streams differ from serial: got %d msgs, want %d", len(got), len(want))
 				}
 			})
 		}
@@ -209,12 +185,20 @@ func TestQuerySpecErrors(t *testing.T) {
 	}
 }
 
-// TestQueryRespectsSingleQuerySpecType pins the satellite contract that
-// the repo has exactly one query-spec type: FilterSpec must alias
-// QuerySpec, not shadow it.
-func TestQueryRespectsSingleQuerySpecType(t *testing.T) {
-	var f FilterSpec = QuerySpec{Topics: []string{"/imu"}}
-	if got := reflect.TypeOf(f); got != reflect.TypeOf(QuerySpec{}) {
-		t.Fatalf("FilterSpec is %v, want alias of QuerySpec", got)
+// TestQueryIsTheOnlyReadEntryPoint pins the completed deprecation: the
+// ReadMessages* wrappers are gone from Bag's method set, leaving Query
+// (and its Context/Span forms) as the single read API.
+func TestQueryIsTheOnlyReadEntryPoint(t *testing.T) {
+	typ := reflect.TypeOf(&Bag{})
+	for _, name := range []string{
+		"ReadMessages", "ReadMessagesTime", "ReadMessagesChrono",
+		"ReadMessagesParallel", "ReadMessagesTimeParallel",
+	} {
+		if _, ok := typ.MethodByName(name); ok {
+			t.Errorf("*Bag still has legacy method %s; it should be removed", name)
+		}
+	}
+	if _, ok := typ.MethodByName("Query"); !ok {
+		t.Fatal("*Bag lost its Query method")
 	}
 }

@@ -14,99 +14,254 @@ import (
 	"repro/internal/timeindex"
 )
 
-// Recorder writes messages directly into a BORA container as they
+// Recorder writes messages directly into BORA containers as they
 // arrive — the paper's "online usage of BORA" (Section III-C), which
 // skips the intermediate log-structured bag entirely: data lands
 // pre-organized by topic, so no duplication pass is ever needed.
 //
-// A Recorder is safe for concurrent writers on different topics; writes
-// to the same topic are serialized per topic.
+// A Recorder runs in one of two modes:
+//
+//   - CreateBag builds one classic container: every message lands in a
+//     single building container that Close seals — the shape Rebag and
+//     Duplicate produce.
+//   - CreateLiveBag builds a live bag: messages land in time-windowed
+//     segments (each a standard container) that seal as their window
+//     closes, and the bag is queryable *while recording* — Open returns
+//     a handle wired to this recorder, and Follow queries tail it.
+//
+// All writes are serialized through one recorder mutex. That total
+// order is what live followers tail: each write appends the message's
+// index entry to an in-memory journal, and a Follow query delivers the
+// journal suffix it subscribed after, in order, with no duplicates or
+// gaps.
 type Recorder struct {
-	b    *BORA
-	name string
-	c    *container.Container
+	b      *BORA
+	name   string
+	live   bool
+	window int64 // segment rotation window in nanoseconds (live only)
 
-	mu     sync.Mutex
+	mu      sync.Mutex
+	segs    []*recSegment
+	cur     *recSegment
+	segEnd  int64 // rotation boundary (ns); 0 until the first write
+	connIDs map[string]uint32
+	sink    []sinkConn // RecordSink connection table (AddConnection order)
+	count   int64
+	sealed  bool
+	closed  bool
+
+	journal   []tailRef
+	followers map[*follower]struct{}
+}
+
+// recSegment is one building-or-sealed container of a recording.
+// Classic recordings have exactly one; live recordings grow one per
+// rotation window.
+type recSegment struct {
+	c      *container.Container
 	topics map[string]*recordTopic
-	count  int64
-	closed bool
 }
 
 type recordTopic struct {
-	mu   sync.Mutex
 	tw   *container.TopicWriter
 	tix  *timeindex.Index
 	dir  string
 	next uint32
-	last bagio.Time
 }
 
-// CreateBag starts recording a new logical bag directly into a
-// container on the back end.
+// sinkConn is one RecordSink connection registration.
+type sinkConn struct {
+	topic   string
+	msgType string
+}
+
+// tailRef is one journal entry: the topic part a message landed in and
+// the index entry describing it. The referenced payload bytes are
+// already durable (TopicWriter writes data before publishing the
+// entry), so a follower can read the message back at any time.
+type tailRef struct {
+	t *container.Topic
+	e container.IndexEntry
+}
+
+// follower is one live tail subscription. pos and limits are a
+// consistent snapshot taken under the recorder mutex: limits holds each
+// existing topic part's entry count at subscribe time, and pos is the
+// journal length — journal[pos:] is exactly the set of messages not
+// covered by limits.
+type follower struct {
+	ch     chan struct{} // capacity 1: write notifications coalesce
+	pos    int
+	limits map[*container.Topic]int
+}
+
+// CreateBag starts recording a new logical bag directly into a classic
+// single-container layout on the back end.
 func (b *BORA) CreateBag(name string) (*Recorder, error) {
 	c, err := container.CreateFS(filepath.Join(b.root, name), b.opts.FS)
 	if err != nil {
 		return nil, err
 	}
-	return &Recorder{b: b, name: name, c: c, topics: map[string]*recordTopic{}}, nil
+	seg := &recSegment{c: c, topics: map[string]*recordTopic{}}
+	return &Recorder{
+		b: b, name: name,
+		segs: []*recSegment{seg}, cur: seg,
+		connIDs: map[string]uint32{},
+	}, nil
 }
 
-// topic returns (creating on first use) the per-topic writer state.
-func (r *Recorder) topic(topic, msgType string) (*recordTopic, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return nil, fmt.Errorf("bora: recorder for %q is closed", r.name)
-	}
-	if rt, ok := r.topics[topic]; ok {
+// Live reports whether this recorder writes the live segmented layout.
+func (r *Recorder) Live() bool { return r.live }
+
+// Name returns the logical bag name being recorded.
+func (r *Recorder) Name() string { return r.name }
+
+// topicLocked returns (creating on first use) the current segment's
+// writer state for topic. Connection IDs are recorder-wide: a topic
+// keeps its ID across segment rotations.
+func (r *Recorder) topicLocked(topic, msgType string) (*recordTopic, error) {
+	if rt, ok := r.cur.topics[topic]; ok {
 		return rt, nil
 	}
-	conn := &bagio.Connection{ID: uint32(len(r.topics)), Topic: topic, Type: msgType}
+	id, ok := r.connIDs[topic]
+	if !ok {
+		id = uint32(len(r.connIDs))
+		r.connIDs[topic] = id
+	}
+	conn := &bagio.Connection{ID: id, Topic: topic, Type: msgType}
 	if sum, err := msgdef.MD5(msgType); err == nil {
 		conn.MD5Sum = sum
 	}
 	if def, err := msgdef.FullText(msgType); err == nil {
 		conn.Def = def
 	}
-	tw, err := r.c.CreateTopicOpts(conn, container.TopicOptions{
+	tw, err := r.cur.c.CreateTopicOpts(conn, container.TopicOptions{
 		Stripes: r.b.opts.Stripes, StripeSize: r.b.opts.StripeSize,
 		IndexFlushEvery: r.b.opts.IndexFlushEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
-	dir, err := r.c.TopicPath(topic)
+	dir, err := r.cur.c.TopicPath(topic)
 	if err != nil {
 		return nil, err
 	}
 	rt := &recordTopic{tw: tw, tix: timeindex.New(r.b.opts.TimeWindow), dir: dir}
-	r.topics[topic] = rt
+	r.cur.topics[topic] = rt
 	return rt, nil
+}
+
+// rotateLocked advances the building segment when t crosses the current
+// rotation boundary. Boundaries are aligned to the window width, set by
+// the first message's timestamp. Rotation only moves forward: a message
+// timestamped before the boundary (out-of-order sources) lands in the
+// current segment, so segments may overlap in time — chronological
+// queries merge across segments, so delivery order is unaffected.
+func (r *Recorder) rotateLocked(t bagio.Time) error {
+	ns := t.Nanos()
+	if r.segEnd == 0 {
+		r.segEnd = (ns/r.window)*r.window + r.window
+		return nil
+	}
+	if ns < r.segEnd {
+		return nil
+	}
+	if err := r.sealSegmentLocked(r.cur); err != nil {
+		return err
+	}
+	c, err := container.CreateFS(segmentDir(filepath.Join(r.b.root, r.name), len(r.segs)), r.b.opts.FS)
+	if err != nil {
+		return err
+	}
+	seg := &recSegment{c: c, topics: map[string]*recordTopic{}}
+	r.segs = append(r.segs, seg)
+	r.cur = seg
+	r.segEnd = (ns/r.window)*r.window + r.window
+	return nil
+}
+
+// sealSegmentLocked commits one segment: every topic's index tail is
+// flushed and synced, the coarse time index is persisted, and the
+// container meta flips building→sealed. The sealed segment's Topic
+// objects stay live — followers and the wired Bag keep reading them.
+func (r *Recorder) sealSegmentLocked(seg *recSegment) error {
+	for _, rt := range seg.topics {
+		if err := rt.tw.Close(); err != nil {
+			return err
+		}
+		if err := faultfs.WriteFileAtomic(r.b.opts.FS, filepath.Join(rt.dir, container.TimeIdxFileName), rt.tix.Marshal(), 0o644); err != nil {
+			return err
+		}
+	}
+	return seg.c.Seal()
 }
 
 // WriteRaw appends one serialized message on a topic.
 func (r *Recorder) WriteRaw(topic, msgType string, t bagio.Time, data []byte) error {
-	rt, err := r.topic(topic, msgType)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sealed || r.closed {
+		return fmt.Errorf("bora: recorder for %q is closed", r.name)
+	}
+	if r.live {
+		if err := r.rotateLocked(t); err != nil {
+			return err
+		}
+	}
+	rt, err := r.topicLocked(topic, msgType)
 	if err != nil {
 		return err
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if err := rt.tw.Append(t, data); err != nil {
 		return err
 	}
 	rt.tix.Add(t, rt.next)
 	rt.next++
-	rt.last = t
-	r.mu.Lock()
 	r.count++
-	r.mu.Unlock()
+	if r.live {
+		r.journal = append(r.journal, tailRef{t: rt.tw.Topic(), e: rt.tw.LastEntry()})
+		r.notifyLocked()
+	}
 	return nil
 }
 
 // WriteMsg marshals and appends one typed message.
 func (r *Recorder) WriteMsg(topic string, t bagio.Time, m msgs.Message) error {
 	return r.WriteRaw(topic, m.TypeName(), t, m.Marshal(nil))
+}
+
+// AddConnection registers a connection for WriteMessage, implementing
+// RecordSink. Registering the same topic again returns the original ID.
+func (r *Recorder) AddConnection(topic, msgType string) (uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sealed || r.closed {
+		return 0, fmt.Errorf("bora: recorder for %q is closed", r.name)
+	}
+	for id, sc := range r.sink {
+		if sc.topic == topic {
+			return uint32(id), nil
+		}
+	}
+	r.sink = append(r.sink, sinkConn{topic: topic, msgType: msgType})
+	return uint32(len(r.sink) - 1), nil
+}
+
+// WriteMessage appends one serialized message on a connection returned
+// by AddConnection, implementing RecordSink.
+func (r *Recorder) WriteMessage(conn uint32, t bagio.Time, data []byte) error {
+	r.mu.Lock()
+	if r.sealed || r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("bora: recorder for %q is closed", r.name)
+	}
+	if int(conn) >= len(r.sink) {
+		r.mu.Unlock()
+		return fmt.Errorf("bora: recorder for %q: unknown connection %d", r.name, conn)
+	}
+	sc := r.sink[conn]
+	r.mu.Unlock()
+	return r.WriteRaw(sc.topic, sc.msgType, t, data)
 }
 
 // MessageCount returns the number of messages recorded so far.
@@ -120,40 +275,178 @@ func (r *Recorder) MessageCount() int64 {
 func (r *Recorder) Topics() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.topics))
-	for t := range r.topics {
+	return r.topicsLocked()
+}
+
+func (r *Recorder) topicsLocked() []string {
+	out := make([]string, 0, len(r.connIDs))
+	for t := range r.connIDs {
 		out = append(out, t)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Close seals every topic (persisting indexes and time indexes) and
-// returns the recorded bag, opened.
+// Segments returns the number of segments (sealed + building) written
+// so far. Classic recordings always report 1.
+func (r *Recorder) Segments() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.segs)
+}
+
+// topicPaths snapshots topic → back-end dir (first segment containing
+// the topic) for the tag table of a wired Bag.
+func (r *Recorder) topicPaths() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	paths := map[string]string{}
+	for _, seg := range r.segs {
+		for name, rt := range seg.topics {
+			if _, ok := paths[name]; !ok {
+				paths[name] = rt.dir
+			}
+		}
+	}
+	return paths
+}
+
+// chains snapshots the per-topic part lists (segment order) for a
+// query over the wired bag. Empty topics selects everything recorded so
+// far. When lenient, unknown topics are skipped instead of failing —
+// a Follow query may subscribe to a topic before its first message.
+func (r *Recorder) chains(topics []string, lenient bool) ([]topicChain, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(topics) == 0 {
+		topics = r.topicsLocked()
+	}
+	out := make([]topicChain, 0, len(topics))
+	for _, name := range topics {
+		var parts []*container.Topic
+		for _, seg := range r.segs {
+			if rt, ok := seg.topics[name]; ok {
+				parts = append(parts, rt.tw.Topic())
+			}
+		}
+		if len(parts) == 0 {
+			if lenient {
+				continue
+			}
+			return nil, fmt.Errorf("bora: unknown topic %q", name)
+		}
+		out = append(out, topicChain{name: name, parts: parts})
+	}
+	return out, nil
+}
+
+// firstContainer returns the first segment's container (for
+// Bag.Container compatibility on wired handles).
+func (r *Recorder) firstContainer() *container.Container {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.segs) == 0 {
+		return nil
+	}
+	return r.segs[0].c
+}
+
+// subscribe registers a live tail. The returned follower's limits/pos
+// pair is a consistent cut of the recording: every message is either
+// covered by limits (visible to a snapshot query) or in journal[pos:]
+// (delivered by the tail), never both.
+func (r *Recorder) subscribe() *follower {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := &follower{
+		ch:     make(chan struct{}, 1),
+		pos:    len(r.journal),
+		limits: map[*container.Topic]int{},
+	}
+	for _, seg := range r.segs {
+		for _, rt := range seg.topics {
+			f.limits[rt.tw.Topic()] = int(rt.next)
+		}
+	}
+	if r.followers == nil {
+		r.followers = map[*follower]struct{}{}
+	}
+	r.followers[f] = struct{}{}
+	return f
+}
+
+func (r *Recorder) unsubscribe(f *follower) {
+	r.mu.Lock()
+	delete(r.followers, f)
+	r.mu.Unlock()
+}
+
+// notifyLocked wakes every follower; sends coalesce on the capacity-1
+// channels, so a slow follower costs the writer nothing.
+func (r *Recorder) notifyLocked() {
+	for f := range r.followers {
+		select {
+		case f.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// tailBatch copies journal[pos:] into buf and reports whether the
+// recording has sealed (no further writes possible). The sealed flag is
+// read under the same lock as the journal snapshot, so sealed=true
+// means the returned batch reaches the journal's final entry.
+func (r *Recorder) tailBatch(pos int, buf []tailRef) ([]tailRef, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(buf[:0], r.journal[pos:]...), r.sealed
+}
+
+// Seal commits the recording without opening it: the building segment
+// seals (index tails flushed, time indexes persisted, container meta
+// sealed) and, for live bags, the live meta flips to complete with a
+// fresh generation so handle caches see the change. Seal is idempotent;
+// after it, writes fail and live followers drain to a clean end.
+func (r *Recorder) Seal() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealLocked()
+}
+
+func (r *Recorder) sealLocked() error {
+	if r.sealed {
+		return nil
+	}
+	if err := r.sealSegmentLocked(r.cur); err != nil {
+		return err
+	}
+	if r.live {
+		dir := filepath.Join(r.b.root, r.name)
+		if err := writeLiveMeta(r.b.opts.FS, dir, &liveMeta{
+			State: liveStateComplete, Window: r.window, Gen: container.NewGen(),
+		}); err != nil {
+			return err
+		}
+		r.b.unregisterLive(r.name, r)
+	}
+	r.sealed = true
+	r.notifyLocked()
+	return nil
+}
+
+// Close seals the recording and returns the recorded bag, opened.
 func (r *Recorder) Close() (*Bag, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("bora: recorder for %q already closed", r.name)
 	}
-	r.closed = true
-	topics := make([]*recordTopic, 0, len(r.topics))
-	for _, rt := range r.topics {
-		topics = append(topics, rt)
+	err := r.sealLocked()
+	if err == nil {
+		r.closed = true
 	}
 	r.mu.Unlock()
-	for _, rt := range topics {
-		rt.mu.Lock()
-		err := rt.tw.Close()
-		if err == nil {
-			err = faultfs.WriteFileAtomic(r.b.opts.FS, filepath.Join(rt.dir, container.TimeIdxFileName), rt.tix.Marshal(), 0o644)
-		}
-		rt.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := r.c.Seal(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	return r.b.Open(r.name)

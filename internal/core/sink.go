@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/bagio"
+	"repro/internal/rosbag"
+)
+
+// RecordSink is the unified recording destination: a connection table
+// plus an append stream, sealed when the recording completes. Both
+// rosbag.Writer (a classic .bag file) and core.Recorder (a BORA
+// container, classic or live) implement it, so recording pipelines —
+// graph.NewRecorder in particular — are written once and pointed at
+// either: a .bag on a machine without BORA, or straight into a live
+// container with no .bag detour.
+type RecordSink interface {
+	// AddConnection registers a topic/type pair, returning the
+	// connection ID WriteMessage takes. Re-registering a topic returns
+	// the existing ID.
+	AddConnection(topic, msgType string) (uint32, error)
+	// WriteMessage appends one serialized message on a registered
+	// connection. Implementations may retain nothing from data after
+	// returning.
+	WriteMessage(conn uint32, t bagio.Time, data []byte) error
+	// Seal commits the recording: buffered state becomes durable and
+	// further writes fail. Sealing an already-sealed sink is an error
+	// or a no-op, per implementation.
+	Seal() error
+}
+
+// Both recording destinations satisfy the interface.
+var (
+	_ RecordSink = (*Recorder)(nil)
+	_ RecordSink = (*rosbag.Writer)(nil)
+)

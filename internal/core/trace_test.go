@@ -95,7 +95,7 @@ func TestTraceGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bag.ReadMessagesParallel(nil, 2, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{Workers: 2}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -163,7 +163,7 @@ func TestParallelReadersDisjointTracks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ { // enough spans to wrap the 64-event ring
-		if err := bag.ReadMessagesParallel(nil, 3, func(MessageRef) error { return nil }); err != nil {
+		if err := bag.Query(QuerySpec{Workers: 3}, func(MessageRef) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -215,7 +215,7 @@ func TestTraceDisabledNoEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bag.ReadMessages(nil, func(MessageRef) error { return nil }); err != nil {
+	if err := bag.Query(QuerySpec{}, func(MessageRef) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if reg.Tracer() != nil {

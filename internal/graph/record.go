@@ -4,16 +4,19 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/rosbag"
 )
 
 // Recorder is the `rosbag record` node of Fig 1c: it subscribes to a
-// set of topics and appends every received message to a bag writer.
-// Writes are serialized through the recorder's own goroutine-safe path
-// so publishers on different topics can run concurrently.
+// set of topics and appends every received message to a recording
+// sink — a classic bag writer, a BORA container recorder, or a remote
+// upload stream; anything implementing core.RecordSink. Writes are
+// serialized through the recorder's own goroutine-safe path so
+// publishers on different topics can run concurrently.
 type Recorder struct {
 	node *Node
-	w    *rosbag.Writer
+	w    core.RecordSink
 
 	mu       sync.Mutex
 	conns    map[string]uint32
@@ -24,8 +27,9 @@ type Recorder struct {
 }
 
 // NewRecorder creates a recorder node that subscribes to the given
-// topics and records into w. Stop must be called before closing w.
-func NewRecorder(g *Graph, nodeName string, w *rosbag.Writer, topics ...string) (*Recorder, error) {
+// topics and records into sink. Stop must be called before sealing (or
+// closing) the sink.
+func NewRecorder(g *Graph, nodeName string, sink core.RecordSink, topics ...string) (*Recorder, error) {
 	if len(topics) == 0 {
 		return nil, fmt.Errorf("graph: recorder needs at least one topic")
 	}
@@ -33,7 +37,7 @@ func NewRecorder(g *Graph, nodeName string, w *rosbag.Writer, topics ...string) 
 	if err != nil {
 		return nil, err
 	}
-	r := &Recorder{node: node, w: w, conns: map[string]uint32{}}
+	r := &Recorder{node: node, w: sink, conns: map[string]uint32{}}
 	for _, topic := range topics {
 		sub, err := node.Subscribe(topic, 256, r.handle)
 		if err != nil {
@@ -96,4 +100,11 @@ func (r *Recorder) Stop() error {
 	defer r.mu.Unlock()
 	r.stopped = true
 	return r.writeErr
+}
+
+// NewBagRecorder is NewRecorder for a classic bag writer — the
+// pre-RecordSink signature, kept for callers that have a *rosbag.Writer
+// in hand.
+func NewBagRecorder(g *Graph, nodeName string, w *rosbag.Writer, topics ...string) (*Recorder, error) {
+	return NewRecorder(g, nodeName, w, topics...)
 }

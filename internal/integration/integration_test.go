@@ -99,7 +99,7 @@ func TestGraphToBoraToExportPipeline(t *testing.T) {
 		t.Errorf("duplicated %d messages, want 150", stats.Messages)
 	}
 	got := messageSet{}
-	if err := bag.ReadMessages(nil, func(m core.MessageRef) error {
+	if err := bag.Query(core.QuerySpec{}, func(m core.MessageRef) error {
 		got[key(m.Conn.Topic, m.Time, m.Data)]++
 		return nil
 	}); err != nil {
@@ -183,7 +183,7 @@ func TestVFSRoundTripPreservesQueries(t *testing.T) {
 	base := bagio.TimeFromNanos(int64(1_500_000_000) * 1e9)
 	end := base.Add(time.Second)
 	var boraCount int
-	if err := bag.ReadMessagesTime([]string{workload.TopicIMU}, base, end, func(core.MessageRef) error {
+	if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}, Start: base, End: end}, func(core.MessageRef) error {
 		boraCount++
 		return nil
 	}); err != nil {
@@ -300,7 +300,7 @@ func TestContainerFailureInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err) // open is lazy: corruption surfaces at query time
 		}
-		if err := bag.ReadMessages([]string{workload.TopicIMU}, func(core.MessageRef) error { return nil }); err == nil {
+		if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(core.MessageRef) error { return nil }); err == nil {
 			t.Error("query over corrupt index succeeded")
 		}
 	})
@@ -319,7 +319,7 @@ func TestContainerFailureInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = bag.ReadMessagesTime([]string{workload.TopicIMU}, bagio.Time{Sec: 1}, bagio.Time{Sec: 2}, func(core.MessageRef) error { return nil })
+		err = bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}, Start: bagio.Time{Sec: 1}, End: bagio.Time{Sec: 2}}, func(core.MessageRef) error { return nil })
 		if err == nil {
 			t.Error("time query over corrupt time index succeeded")
 		}
@@ -339,7 +339,7 @@ func TestContainerFailureInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := bag.ReadMessages([]string{workload.TopicIMU}, func(core.MessageRef) error { return nil }); err == nil {
+		if err := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(core.MessageRef) error { return nil }); err == nil {
 			t.Error("query without data file succeeded")
 		}
 	})
@@ -373,7 +373,7 @@ func TestContainerFailureInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		readErr := bag.ReadMessages([]string{workload.TopicIMU}, func(m core.MessageRef) error {
+		readErr := bag.Query(core.QuerySpec{Topics: []string{workload.TopicIMU}}, func(m core.MessageRef) error {
 			if len(m.Data) == 0 {
 				t.Error("empty payload delivered")
 			}
@@ -401,12 +401,12 @@ func TestRebagExportAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, kept, err := backend.Rebag(full, "tf_only", core.FilterSpec{Topics: []string{workload.TopicTF}})
+	sub, kept, err := backend.Rebag(full, "tf_only", core.QuerySpec{Topics: []string{workload.TopicTF}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var fullTF [][]byte
-	if err := full.ReadMessages([]string{workload.TopicTF}, func(m core.MessageRef) error {
+	if err := full.Query(core.QuerySpec{Topics: []string{workload.TopicTF}}, func(m core.MessageRef) error {
 		fullTF = append(fullTF, append([]byte(nil), m.Data...))
 		return nil
 	}); err != nil {
@@ -416,7 +416,7 @@ func TestRebagExportAgreement(t *testing.T) {
 		t.Fatalf("kept %d, original has %d", kept, len(fullTF))
 	}
 	i := 0
-	if err := sub.ReadMessages(nil, func(m core.MessageRef) error {
+	if err := sub.Query(core.QuerySpec{}, func(m core.MessageRef) error {
 		if i < len(fullTF) && !bytes.Equal(m.Data, fullTF[i]) {
 			t.Errorf("message %d differs after rebag", i)
 		}

@@ -98,7 +98,7 @@ func TestTimeQuerySelectivityMatchesRealImplementation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got int
-	if err := fresh.ReadMessagesTime([]string{topic}, base, end, func(core.MessageRef) error {
+	if err := fresh.Query(core.QuerySpec{Topics: []string{topic}, Start: base, End: end}, func(core.MessageRef) error {
 		got++
 		return nil
 	}); err != nil {

@@ -16,10 +16,8 @@ package pool
 import (
 	"container/list"
 	"context"
-	"path/filepath"
 	"sync"
 
-	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -95,7 +93,7 @@ type entry struct {
 
 	mu  sync.Mutex
 	bag *core.Bag
-	gen uint64 // container generation the handle was opened under
+	gen uint64 // generation the handle was opened under (0 = live-wired)
 }
 
 // New builds a pool over b, registering its metrics on b's obs
@@ -200,14 +198,27 @@ func (p *Pool) acquire(name string, sp obs.Span) (*core.Bag, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.bag != nil {
-		// Staleness probe: re-read the container meta and compare the
+		// Staleness probe: re-read the bag meta and compare the
 		// generation token minted at seal time. One ~200-byte file read
 		// against the readdir + per-topic connection loads + tag-table
 		// build of a cold open — and it catches out-of-band mutations
 		// (Repair, Remove + re-Duplicate) that never went through this
-		// pool.
-		meta, err := container.ReadMeta(filepath.Join(p.b.Root(), name))
-		if err == nil && meta.Sealed() && meta.Gen == e.gen {
+		// pool. Live bags add one wrinkle: while a recording is in
+		// progress there is no generation yet, so a handle is fresh
+		// exactly when it is wired to the in-process recorder; once the
+		// recording completes the wired handle's zero generation stops
+		// matching the sealed meta and the next Acquire reopens the
+		// finished bag.
+		gen, recording, err := p.b.ProbeBag(e.name)
+		fresh := false
+		if err == nil {
+			if recording {
+				fresh = e.bag.LiveWired()
+			} else {
+				fresh = gen != 0 && gen == e.gen
+			}
+		}
+		if fresh {
 			return e.bag, true, nil
 		}
 		e.bag = nil // stale: fall through to a fresh open
@@ -222,9 +233,11 @@ func (p *Pool) acquire(name string, sp obs.Span) (*core.Bag, bool, error) {
 		return nil, false, err
 	}
 	if p.blocks != nil {
-		bag.Container().SetBlockCache(p.blocks)
+		// A no-op on live-wired handles: a growing data file must not
+		// populate the cache with blocks cut short at today's EOF.
+		bag.SetBlockCache(p.blocks)
 	}
-	e.bag, e.gen = bag, bag.Container().Generation()
+	e.bag, e.gen = bag, bag.Generation()
 	return bag, false, nil
 }
 

@@ -146,7 +146,7 @@ func Play(g *graph.Graph, nodeName string, src Source, opts Options) (Stats, err
 // FromBag adapts a BORA bag's chronological merge as a replay source.
 func FromBag(bag *core.Bag, topics []string) Source {
 	return func(fn func(string, string, bagio.Time, []byte) error) error {
-		return bag.ReadMessagesChrono(topics, bagio.MinTime, bagio.MaxTime, func(m core.MessageRef) error {
+		return bag.Query(core.QuerySpec{Topics: topics, Order: core.OrderTime}, func(m core.MessageRef) error {
 			return fn(m.Conn.Topic, m.Conn.Type, m.Time, m.Data)
 		})
 	}

@@ -231,6 +231,12 @@ func (w *Writer) flushChunk() error {
 // MessageCount returns the number of messages written so far.
 func (w *Writer) MessageCount() uint64 { return w.msgCount }
 
+// Seal commits the bag (Close under core.RecordSink's name), making
+// *Writer a drop-in recording destination alongside core.Recorder.
+// The underlying file, which the Writer does not own, is still the
+// caller's to close.
+func (w *Writer) Seal() error { return w.Close() }
+
 // Close seals the last chunk, writes the index section (connection
 // records then chunk-info records) and patches the bag header.
 func (w *Writer) Close() error {

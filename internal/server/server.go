@@ -16,7 +16,14 @@
 //     core.Bag.QueryContext — an abandoned stream stops reading from
 //     disk within one message batch.
 //   - Graceful drain. Shutdown stops accepting, lets in-flight streams
-//     finish, and force-closes at the caller's deadline.
+//     finish, and force-closes at the caller's deadline. Follow streams
+//     and uploads, which have no natural end, are canceled at drain
+//     instead of waited on (an upload's acknowledged messages are
+//     sealed durable first).
+//   - Live ingest. RECORD opens a flow-controlled upload into a new bag
+//     (classic or live-segmented); a QUERY with the follow flag streams
+//     a live bag's sealed prefix and then its growing tail, resending
+//     the connection table when the recording introduces new topics.
 //
 // Everything is observable under server.* metric names on the backend's
 // obs registry, and HTTPHandler exposes /metrics (the registry
@@ -232,6 +239,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			idle = append(idle, c)
 		} else {
 			c.closeWhenDone = true
+			if c.cur.follow {
+				// A follow stream ends when the recording seals — which a
+				// drain must not wait for. Cancel it; the client sees the
+				// stream end like any other cancellation.
+				c.cur.cancel()
+			}
 		}
 		c.mu.Unlock()
 	}
@@ -407,12 +420,40 @@ type conn struct {
 	cur           *query // the in-flight query stream, if any
 	closeWhenDone bool   // drain: close as soon as cur finishes
 	closed        bool
+
+	// rec is the in-flight upload, if any, mutated only by the read
+	// loop (RECCONN/RECMSG/RECDONE are handled inline); the pointer is
+	// read and written under mu because the close path steals it for
+	// the final seal.
+	rec *recording
 }
+
+// recording returns the in-flight upload, nil if none.
+func (c *conn) recording() *recording {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
+}
+
+// recording is one in-flight RECORD upload's state.
+type recording struct {
+	rec    *core.Recorder
+	conns  map[uint16]uint32 // client connection ID → recorder connection ID
+	count  uint64            // messages accepted
+	bytes  uint64            // payload bytes accepted
+	since  uint32            // messages since the last credit grant
+	window uint32            // credit window; grants of window/2 are sent every window/2
+}
+
+// DefaultRecordWindow is the upload credit window the server grants: the
+// client may have this many unacknowledged RECMSG frames in flight.
+const DefaultRecordWindow = 256
 
 // query is one in-flight QUERY stream's flow-control state.
 type query struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
+	follow    bool // live tail: canceled (not waited on) at drain
 	unlimited bool
 	avail     atomic.Int64
 	notify    chan struct{}    // capacity 1; kicked on every credit grant
@@ -450,6 +491,14 @@ func (c *conn) serve() {
 			}
 		case wire.OpCancel:
 			c.cancelQuery()
+		case wire.OpRecord:
+			err = c.handleRecord(f.Payload)
+		case wire.OpRecConn:
+			err = c.handleRecConn(f.Payload)
+		case wire.OpRecMsg:
+			err = c.handleRecMsg(f.Payload)
+		case wire.OpRecDone:
+			err = c.handleRecDone()
 		default:
 			err = fmt.Errorf("unexpected opcode 0x%02x", f.Op)
 		}
@@ -466,7 +515,14 @@ func (c *conn) close() {
 		return
 	}
 	c.closed = true
+	rec := c.rec
+	c.rec = nil
 	c.mu.Unlock()
+	if rec != nil {
+		// A vanished uploader leaves acknowledged messages on disk; seal
+		// them durable rather than leaving the bag mid-recording.
+		rec.rec.Seal()
+	}
 	c.cancelCtx()
 	c.nc.Close()
 	s := c.s
@@ -545,6 +601,107 @@ func (c *conn) bagInfo(name string, sp obs.Span) (wire.BagInfo, error) {
 	return bi, nil
 }
 
+// handleRecord opens an upload stream: the bag is created (live or
+// classic), and the OK reply carries the initial credit window —
+// the client may have that many RECMSG frames unacknowledged.
+func (c *conn) handleRecord(payload []byte) error {
+	sp := c.s.reqOp.Start()
+	req, err := wire.DecodeRecord(payload)
+	if err != nil {
+		sp.EndErr(err)
+		return c.writeErr(err)
+	}
+	if c.s.draining.Load() {
+		sp.End()
+		return c.busy("server draining")
+	}
+	if c.recording() != nil {
+		sp.End()
+		return c.busy("connection already recording")
+	}
+	var rec *core.Recorder
+	if req.Live {
+		rec, err = c.s.b.CreateLiveBag(req.Name, time.Duration(req.WindowNanos))
+	} else {
+		rec, err = c.s.b.CreateBag(req.Name)
+	}
+	if err != nil {
+		sp.EndErr(err)
+		return c.writeErr(err)
+	}
+	c.mu.Lock()
+	c.rec = &recording{rec: rec, conns: map[uint16]uint32{}, window: DefaultRecordWindow}
+	c.mu.Unlock()
+	sp.End()
+	return c.writeFrame(wire.OpOK, wire.EncodeCredit(DefaultRecordWindow))
+}
+
+// handleRecConn registers one upload connection, mapping the client's
+// chosen ID to the recorder's.
+func (c *conn) handleRecConn(payload []byte) error {
+	rc, err := wire.DecodeRecConn(payload)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	r := c.recording()
+	if r == nil {
+		return c.writeErr(errors.New("RECCONN outside a recording"))
+	}
+	if _, dup := r.conns[rc.Conn]; dup {
+		return c.writeErr(fmt.Errorf("connection %d already declared", rc.Conn))
+	}
+	id, err := r.rec.AddConnection(rc.Topic, rc.Type)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	r.conns[rc.Conn] = id
+	return nil
+}
+
+// handleRecMsg appends one uploaded message and re-grants credit every
+// half window, keeping the client's pipeline full without unbounded
+// server-side buffering (the append happened before the grant).
+func (c *conn) handleRecMsg(payload []byte) error {
+	m, err := wire.DecodeMsg(payload)
+	if err != nil {
+		return c.writeErr(err)
+	}
+	r := c.recording()
+	if r == nil {
+		return c.writeErr(errors.New("RECMSG outside a recording"))
+	}
+	id, ok := r.conns[m.Conn]
+	if !ok {
+		return c.writeErr(fmt.Errorf("undeclared connection %d", m.Conn))
+	}
+	if err := r.rec.WriteMessage(id, m.Time, m.Data); err != nil {
+		return c.writeErr(err)
+	}
+	r.count++
+	r.bytes += uint64(len(m.Data))
+	r.since++
+	if r.since >= r.window/2 {
+		r.since = 0
+		return c.writeFrame(wire.OpGrant, wire.EncodeGrant(r.window/2))
+	}
+	return nil
+}
+
+// handleRecDone seals the recording and answers with the upload summary.
+func (c *conn) handleRecDone() error {
+	c.mu.Lock()
+	r := c.rec
+	c.rec = nil
+	c.mu.Unlock()
+	if r == nil {
+		return c.writeErr(errors.New("RECDONE outside a recording"))
+	}
+	if err := r.rec.Seal(); err != nil {
+		return c.writeErr(err)
+	}
+	return c.writeFrame(wire.OpEnd, wire.EncodeEnd(wire.End{Count: r.count, Bytes: r.bytes}))
+}
+
 func (c *conn) handleStats() error {
 	data, err := json.Marshal(c.s.Stats())
 	if err != nil {
@@ -585,7 +742,7 @@ func (c *conn) handleQuery(payload []byte) error {
 	// and the context value) per query, zero per message.
 	aq := &obs.ActiveQuery{ID: obs.QueryID{Trace: req.TraceID, Parent: req.ParentSpan}}
 	qctx = obs.ContextWithQuery(qctx, aq)
-	q := &query{ctx: qctx, cancel: qcancel, notify: make(chan struct{}, 1), aq: aq}
+	q := &query{ctx: qctx, cancel: qcancel, follow: req.Follow, notify: make(chan struct{}, 1), aq: aq}
 	if req.Window == 0 {
 		q.unlimited = true
 	} else {
@@ -730,16 +887,22 @@ func (c *conn) runQuery(q *query, req wire.QueryReq, recv time.Time) {
 	if len(topics) == 0 {
 		topics = bag.Topics()
 	}
-	metas := make([]wire.ConnMeta, len(topics))
+	metas := make([]wire.ConnMeta, 0, len(topics))
 	idx := make(map[string]uint16, len(topics))
-	for i, t := range topics {
+	for _, t := range topics {
 		ty, ok := typeOf[t]
 		if !ok {
+			if req.Follow {
+				// A followed recording may introduce this topic later; it
+				// joins the table — with a QUERYHDR resend — when its first
+				// message arrives.
+				continue
+			}
 			fail(fmt.Errorf("unknown topic %q", t))
 			return
 		}
-		metas[i] = wire.ConnMeta{Topic: t, Type: ty}
-		idx[t] = uint16(i)
+		idx[t] = uint16(len(metas))
+		metas = append(metas, wire.ConnMeta{Topic: t, Type: ty})
 	}
 	if err := c.writeFrame(wire.OpQueryHdr, wire.EncodeQueryHdr(metas)); err != nil {
 		qerr = err
@@ -749,7 +912,7 @@ func (c *conn) runQuery(q *query, req wire.QueryReq, recv time.Time) {
 	// First byte streamed: everything before this — admission, pool
 	// acquire, metadata assembly — is the query's queue wait.
 	q.aq.QueueWaitNs.Store(time.Since(recv).Nanoseconds())
-	spec := core.QuerySpec{Topics: req.Topics, Start: req.Start, End: req.End}
+	spec := core.QuerySpec{Topics: req.Topics, Start: req.Start, End: req.End, Follow: req.Follow}
 	if req.Order == wire.OrderTime {
 		spec.Order = core.OrderTime
 	}
@@ -757,8 +920,20 @@ func (c *conn) runQuery(q *query, req wire.QueryReq, recv time.Time) {
 		if err := q.waitCredit(); err != nil {
 			return err
 		}
+		i, ok := idx[m.Conn.Topic]
+		if !ok {
+			// First message of a topic the recording introduced after the
+			// stream started: grow the connection table and resend it, so
+			// the client learns the new index before any MSG uses it.
+			i = uint16(len(metas))
+			idx[m.Conn.Topic] = i
+			metas = append(metas, wire.ConnMeta{Topic: m.Conn.Topic, Type: m.Conn.Type})
+			if err := c.writeFrame(wire.OpQueryHdr, wire.EncodeQueryHdr(metas)); err != nil {
+				return err
+			}
+		}
 		if err := c.writeMsg(wire.Msg{
-			Conn: idx[m.Conn.Topic], Time: m.Time, Data: m.Data,
+			Conn: i, Time: m.Time, Data: m.Data,
 		}); err != nil {
 			return err
 		}

@@ -36,13 +36,17 @@ const DefaultMaxFrame = 16 << 20
 
 // Request opcodes (client → server).
 const (
-	OpPing   byte = 0x01 // payload echoed back in PONG
-	OpOpen   byte = 0x02 // bag name; warms the serving pool → OK
-	OpInfo   byte = 0x03 // bag name → BAGINFO
-	OpQuery  byte = 0x04 // QueryReq → QUERYHDR, MSG..., END
-	OpStats  byte = 0x05 // empty → OK with ServerStats JSON
-	OpCredit byte = 0x06 // uint32 grant (flow control during a stream)
-	OpCancel byte = 0x07 // empty; abort the in-flight query
+	OpPing    byte = 0x01 // payload echoed back in PONG
+	OpOpen    byte = 0x02 // bag name; warms the serving pool → OK
+	OpInfo    byte = 0x03 // bag name → BAGINFO
+	OpQuery   byte = 0x04 // QueryReq → QUERYHDR, MSG..., END
+	OpStats   byte = 0x05 // empty → OK with ServerStats JSON
+	OpCredit  byte = 0x06 // uint32 grant (flow control during a stream)
+	OpCancel  byte = 0x07 // empty; abort the in-flight query
+	OpRecord  byte = 0x08 // RecordReq; open an upload → OK with initial credit
+	OpRecConn byte = 0x09 // RecConn: declare one upload connection
+	OpRecMsg  byte = 0x0a // Msg: one uploaded message (conn = RecConn ID)
+	OpRecDone byte = 0x0b // empty; seal the recording → END summary
 )
 
 // Response opcodes (server → client).
@@ -55,13 +59,16 @@ const (
 	OpQueryHdr byte = 0x86 // []ConnMeta: the stream's connection table
 	OpMsg      byte = 0x87 // Msg: one streamed message
 	OpEnd      byte = 0x88 // End: stream summary
+	OpGrant    byte = 0x89 // uint32: more RECMSG credit during an upload
 )
 
 // KnownOp reports whether op is a defined opcode.
 func KnownOp(op byte) bool {
 	switch op {
 	case OpPing, OpOpen, OpInfo, OpQuery, OpStats, OpCredit, OpCancel,
-		OpPong, OpOK, OpErr, OpBusy, OpBagInfo, OpQueryHdr, OpMsg, OpEnd:
+		OpRecord, OpRecConn, OpRecMsg, OpRecDone,
+		OpPong, OpOK, OpErr, OpBusy, OpBagInfo, OpQueryHdr, OpMsg, OpEnd,
+		OpGrant:
 		return true
 	}
 	return false
@@ -121,8 +128,14 @@ func (e *Encoder) WriteFrame(w io.Writer, op byte, payload []byte) error {
 // so borrowed buffers (core.MessageRef.Data) can be passed straight
 // through.
 func (e *Encoder) WriteMsg(w io.Writer, m Msg) error {
+	return e.WriteMsgOp(w, OpMsg, m)
+}
+
+// WriteMsgOp is WriteMsg under a caller-chosen opcode — the same
+// payload encoding serves MSG (download) and RECMSG (upload) frames.
+func (e *Encoder) WriteMsgOp(w io.Writer, op byte, m Msg) error {
 	e.buf = binary.BigEndian.AppendUint32(e.buf[:0], uint32(2+8+4+len(m.Data)))
-	e.buf = append(e.buf, OpMsg)
+	e.buf = append(e.buf, op)
 	enc := enc{b: e.buf}
 	enc.u16(m.Conn)
 	enc.time(m.Time)
@@ -344,7 +357,15 @@ type QueryReq struct {
 	// them.
 	TraceID    uint64
 	ParentSpan uint64
+	// Follow streams the live tail after the sealed prefix: END arrives
+	// only when the recording seals (or on CANCEL). It rides in an
+	// optional trailing flags byte — after the trace block when one is
+	// present — which old decoders ignore like the trace block itself.
+	Follow bool
 }
+
+// Query flag bits (the optional trailing flags byte).
+const flagFollow uint8 = 1 << 0
 
 // EncodeQuery renders a QUERY payload.
 func EncodeQuery(q QueryReq) []byte {
@@ -361,6 +382,12 @@ func EncodeQuery(q QueryReq) []byte {
 	if q.TraceID != 0 {
 		e.u64(q.TraceID)
 		e.u64(q.ParentSpan)
+	}
+	if q.Follow {
+		// The flags byte is only distinguishable from a trace block by
+		// remaining length, so it must follow the trace block when both
+		// are present (16+1 vs 16 vs 1 vs 0 trailing bytes).
+		e.u8(flagFollow)
 	}
 	return e.b
 }
@@ -381,10 +408,24 @@ func DecodeQuery(p []byte) (QueryReq, error) {
 	q.End = d.time()
 	q.Order = d.u8()
 	q.Window = d.u32()
-	if !d.fail && d.off < len(d.b) {
-		// Optional trailing trace block (newer clients only).
-		q.TraceID = d.u64()
-		q.ParentSpan = d.u64()
+	if !d.fail {
+		// Optional trailing blocks (newer clients only), dispatched by
+		// exact remaining length: trace block (16), flags byte (1), both
+		// (17). Any other trailing length is a malformed frame, not a
+		// silent fallback.
+		switch rem := len(d.b) - d.off; rem {
+		case 0:
+		case 16, 17:
+			q.TraceID = d.u64()
+			q.ParentSpan = d.u64()
+			if rem == 17 {
+				q.Follow = d.u8()&flagFollow != 0
+			}
+		case 1:
+			q.Follow = d.u8()&flagFollow != 0
+		default:
+			d.fail = true
+		}
 	}
 	if q.Order > OrderTime {
 		return QueryReq{}, fmt.Errorf("wire: unknown order %d", q.Order)
@@ -539,3 +580,68 @@ type ServerStats struct {
 	// see replica widening engage.
 	HotBags []string `json:"hot_bags,omitempty"`
 }
+
+// RecordReq is the RECORD request: open an upload stream creating the
+// named bag.
+type RecordReq struct {
+	Name string
+	// Live selects the segmented live layout (readable mid-recording
+	// with follow queries); a classic single-container bag otherwise.
+	Live bool
+	// WindowNanos is the live segment rotation window in nanoseconds;
+	// zero selects the server default. Ignored unless Live.
+	WindowNanos uint64
+}
+
+// EncodeRecord renders a RECORD payload.
+func EncodeRecord(r RecordReq) []byte {
+	var e enc
+	e.str(r.Name)
+	var live byte
+	if r.Live {
+		live = 1
+	}
+	e.u8(live)
+	e.u64(r.WindowNanos)
+	return e.b
+}
+
+// DecodeRecord parses a RECORD payload.
+func DecodeRecord(p []byte) (RecordReq, error) {
+	d := dec{b: p}
+	r := RecordReq{Name: d.str()}
+	r.Live = d.u8() != 0
+	r.WindowNanos = d.u64()
+	return r, d.err()
+}
+
+// RecConn declares one upload connection: the client picks the ID its
+// subsequent RECMSG frames carry. Redeclaring an ID is an error;
+// redeclaring a topic under a new ID aliases the same topic.
+type RecConn struct {
+	Conn  uint16
+	Topic string
+	Type  string
+}
+
+// EncodeRecConn renders a RECCONN payload.
+func EncodeRecConn(c RecConn) []byte {
+	var e enc
+	e.u16(c.Conn)
+	e.str(c.Topic)
+	e.str(c.Type)
+	return e.b
+}
+
+// DecodeRecConn parses a RECCONN payload.
+func DecodeRecConn(p []byte) (RecConn, error) {
+	d := dec{b: p}
+	c := RecConn{Conn: d.u16(), Topic: d.str(), Type: d.str()}
+	return c, d.err()
+}
+
+// EncodeGrant renders a GRANT payload adding n RECMSG credits.
+func EncodeGrant(n uint32) []byte { return EncodeCredit(n) }
+
+// DecodeGrant parses a GRANT payload.
+func DecodeGrant(p []byte) (uint32, error) { return DecodeCredit(p) }

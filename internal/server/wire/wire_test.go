@@ -220,3 +220,77 @@ func TestLyingCountsStayBounded(t *testing.T) {
 		t.Errorf("baginfo: err = %v, want ErrTruncated", err)
 	}
 }
+
+func TestRecordRoundTrips(t *testing.T) {
+	for _, req := range []RecordReq{
+		{Name: "bag1"},
+		{Name: "live1", Live: true},
+		{Name: "live2", Live: true, WindowNanos: 60_000_000_000},
+	} {
+		got, err := DecodeRecord(EncodeRecord(req))
+		if err != nil || !reflect.DeepEqual(got, req) {
+			t.Errorf("record %+v: got %+v err %v", req, got, err)
+		}
+	}
+	if _, err := DecodeRecord([]byte{0, 3, 'a'}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated record: err = %v, want ErrTruncated", err)
+	}
+
+	rc := RecConn{Conn: 7, Topic: "/imu", Type: "sensor_msgs/Imu"}
+	gotC, err := DecodeRecConn(EncodeRecConn(rc))
+	if err != nil || !reflect.DeepEqual(gotC, rc) {
+		t.Errorf("recconn: got %+v err %v", gotC, err)
+	}
+
+	n, err := DecodeGrant(EncodeGrant(128))
+	if err != nil || n != 128 {
+		t.Errorf("grant: got %d err %v", n, err)
+	}
+
+	// RECMSG reuses the Msg encoding through WriteMsgOp.
+	var buf bytes.Buffer
+	var e Encoder
+	msg := Msg{Conn: 3, Time: bagio.Time{Sec: 9, NSec: 10}, Data: []byte("up")}
+	if err := e.WriteMsgOp(&buf, OpRecMsg, msg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf, 0)
+	if err != nil || f.Op != OpRecMsg {
+		t.Fatalf("recmsg frame: op 0x%02x err %v", f.Op, err)
+	}
+	gotM, err := DecodeMsg(f.Payload)
+	if err != nil || !reflect.DeepEqual(gotM, msg) {
+		t.Errorf("recmsg: got %+v err %v", gotM, err)
+	}
+}
+
+func TestQueryFollowFlag(t *testing.T) {
+	base := QueryReq{Name: "bag1", Topics: []string{"/imu"}, Window: 64}
+
+	// Follow alone rides in a single trailing byte.
+	fq := base
+	fq.Follow = true
+	plain := EncodeQuery(base)
+	followed := EncodeQuery(fq)
+	if len(followed) != len(plain)+1 {
+		t.Errorf("follow payload %d bytes, want plain %d + 1", len(followed), len(plain))
+	}
+	got, err := DecodeQuery(followed)
+	if err != nil || !got.Follow {
+		t.Errorf("follow round-trip: got %+v err %v", got, err)
+	}
+
+	// Follow composes with the trace block (16+1 trailing bytes).
+	tq := fq
+	tq.TraceID = 99
+	tq.ParentSpan = 7
+	got, err = DecodeQuery(EncodeQuery(tq))
+	if err != nil || !reflect.DeepEqual(got, tq) {
+		t.Errorf("traced follow round-trip: got %+v err %v", got, err)
+	}
+
+	// Unrecognized trailing lengths are malformed, not silently skipped.
+	if _, err := DecodeQuery(append(plain, 1, 2, 3)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("3 trailing bytes: err = %v, want ErrTruncated", err)
+	}
+}

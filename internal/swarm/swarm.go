@@ -195,7 +195,7 @@ func Real(cfg RealConfig) (RealResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = bags[i].ReadMessages(cfg.Topics, func(m core.MessageRef) error {
+			errs[i] = bags[i].Query(core.QuerySpec{Topics: cfg.Topics}, func(m core.MessageRef) error {
 				counts[i]++
 				bytes[i] += int64(len(m.Data))
 				return nil

@@ -122,12 +122,59 @@ func (o *SyntheticOptions) fill() {
 // mix (optionally scaled down) and returns the number of messages
 // written.
 func WriteHandheldSLAMBag(path string, opts SyntheticOptions) (uint64, error) {
-	opts.fill()
 	w, f, err := rosbag.Create(path, opts.Writer)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
+	n, err := generateHandheldSLAM(opts, func(topic, _ string, t bagio.Time, m msgs.Message) error {
+		return w.WriteMsg(topic, t, m)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// Sink is the recording destination RecordHandheldSLAM feeds —
+// structurally core.RecordSink (a rosbag.Writer, a core.Recorder, or a
+// client.RecordStream), declared locally so workload stays independent
+// of the container stack.
+type Sink interface {
+	AddConnection(topic, msgType string) (uint32, error)
+	WriteMessage(conn uint32, t bagio.Time, data []byte) error
+	Seal() error
+}
+
+// RecordHandheldSLAM streams the Table II mix into sink — the same
+// synthetic recording WriteHandheldSLAMBag produces, but through the
+// unified RecordSink surface so it lands in a container (live or
+// classic) or on a remote daemon without a .bag detour. The sink is NOT
+// sealed: the caller owns the seal (and any pacing around it).
+func RecordHandheldSLAM(sink Sink, opts SyntheticOptions) (uint64, error) {
+	conns := map[string]uint32{}
+	var buf []byte
+	return generateHandheldSLAM(opts, func(topic, msgType string, t bagio.Time, m msgs.Message) error {
+		id, ok := conns[topic]
+		if !ok {
+			var err error
+			if id, err = sink.AddConnection(topic, msgType); err != nil {
+				return err
+			}
+			conns[topic] = id
+		}
+		buf = m.Marshal(buf[:0])
+		return sink.WriteMessage(id, t, buf)
+	})
+}
+
+// generateHandheldSLAM synthesizes the Table II message stream and
+// hands each message to emit in recording order.
+func generateHandheldSLAM(opts SyntheticOptions, emit func(topic, msgType string, t bagio.Time, m msgs.Message) error) (uint64, error) {
+	opts.fill()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	imgBytes := func(size int64) []byte {
@@ -141,6 +188,7 @@ func WriteHandheldSLAMBag(path string, opts SyntheticOptions) (uint64, error) {
 	}
 	base := int64(1_500_000_000) * 1e9 // epoch seconds ≈ 2017
 	specs := HandheldSLAMSpecs()
+	var n uint64
 	// Emit message arrivals per topic per second, merged by time within
 	// the second (close enough to a true global merge for a recorder).
 	for s := 0; s < opts.Seconds; s++ {
@@ -177,17 +225,14 @@ func WriteHandheldSLAMBag(path string, opts SyntheticOptions) (uint64, error) {
 				default:
 					return 0, fmt.Errorf("workload: unhandled type %s", spec.Type)
 				}
-				if err := w.WriteMsg(spec.Name, t, m); err != nil {
+				if err := emit(spec.Name, spec.Type, t, m); err != nil {
 					return 0, err
 				}
+				n++
 			}
 		}
 	}
-	n := w.MessageCount()
-	if err := w.Close(); err != nil {
-		return 0, err
-	}
-	return n, f.Close()
+	return n, nil
 }
 
 // TFStream generates n TF messages for the Fig 2 insertion experiment
