@@ -7,8 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
-	"repro/internal/bagio"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -51,46 +51,6 @@ func cmdReindex(args []string) error {
 	}
 	fmt.Printf("salvaged %d messages on %d connections from %d chunks (%s) -> %s\n",
 		stats.Messages, stats.Connections, stats.Chunks, status, *out)
-	return nil
-}
-
-// cmdRebag filters a BORA bag into a new logical bag.
-func cmdRebag(args []string) error {
-	fs := flag.NewFlagSet("rebag", flag.ExitOnError)
-	backend := backendFlag(fs)
-	name := fs.String("name", "", "source logical bag name (required)")
-	out := fs.String("out", "", "destination logical bag name (required)")
-	topicsArg := fs.String("topics", "", "comma-separated topics to keep (empty = all)")
-	startSec := fs.Float64("start", 0, "start time (seconds since epoch)")
-	endSec := fs.Float64("end", 0, "end time (seconds since epoch)")
-	fs.Parse(args)
-	if *out == "" {
-		return fmt.Errorf("rebag: -out is required")
-	}
-	b, err := openBackend(*backend)
-	if err != nil {
-		return err
-	}
-	bag, err := openBag(b, *name)
-	if err != nil {
-		return err
-	}
-	spec := core.QuerySpec{}
-	if *topicsArg != "" {
-		spec.Topics = strings.Split(*topicsArg, ",")
-	}
-	if *startSec > 0 {
-		spec.Start = bagio.TimeFromNanos(int64(*startSec * 1e9))
-	}
-	if *endSec > 0 {
-		spec.End = bagio.TimeFromNanos(int64(*endSec * 1e9))
-	}
-	sub, kept, err := b.Rebag(bag, *out, spec)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("rebagged %s -> %s: kept %d messages across topics %v\n",
-		*name, *out, kept, sub.Topics())
 	return nil
 }
 
@@ -164,10 +124,10 @@ func cmdPlay(args []string) error {
 	if err != nil {
 		return err
 	}
-	var printed int64
+	var printed atomic.Int64
 	for topic := range topicsOf(r) {
 		if _, err := sink.Subscribe(topic, 256, func(m graph.Message) {
-			printed++
+			printed.Add(1) // subscriber callbacks run on per-topic goroutines
 			if !*quiet {
 				fmt.Printf("%s %-32s %d bytes\n", m.Time, m.Topic, len(m.Data))
 			}

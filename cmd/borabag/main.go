@@ -12,6 +12,7 @@
 //	borabag [global flags] query -backend DIR -name bag1 -topics /imu,/tf [-start S -end S]
 //	borabag -remote ADDR query -name bag1 -follow
 //	borabag [global flags] export -backend DIR -name bag1 -o out.bag
+//	borabag [global flags] build -backend DIR -f dataset.json [-workers N]
 //
 // Global flags precede the subcommand:
 //
@@ -45,7 +46,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/bagio"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -156,6 +156,8 @@ globalFlags:
 		err = cmdReindex(args[1:])
 	case "rebag":
 		err = cmdRebag(args[1:])
+	case "build":
+		err = cmdBuild(args[1:])
 	case "fsck":
 		err = cmdFsck(args[1:])
 	case "verify":
@@ -234,6 +236,8 @@ commands:
   export     reconstruct a standard .bag from a container
   reindex    salvage a damaged or unclosed bag (rosbag reindex)
   rebag      filter a BORA bag into a new logical bag
+  build      materialize a dataset build spec (-f dataset.json): a DAG of
+             content-addressed derivations; unchanged ones are no-ops
   verify     check a BORA bag's container integrity (CRC + index)
   fsck       check a container for crash damage and optionally repair it
   baginfo    summarize a BORA bag (rosbag info over the container)
@@ -423,8 +427,7 @@ func cmdQuery(args []string) error {
 	backend := backendFlag(fs)
 	name := fs.String("name", "", "logical bag name (required)")
 	topicsArg := fs.String("topics", "", "comma-separated topic names (empty = all)")
-	startSec := fs.Float64("start", 0, "start time (seconds since epoch, 0 = bag start)")
-	endSec := fs.Float64("end", 0, "end time (seconds since epoch, 0 = bag end)")
+	window := windowFlags(fs)
 	parallel := fs.Int("parallel", 0, "read topic streams concurrently with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	chrono := fs.Bool("chrono", false, "deliver messages in global timestamp order (serial)")
 	follow := fs.Bool("follow", false, "tail a recording bag: stream the sealed prefix, then live messages until sealed or interrupted")
@@ -433,6 +436,7 @@ func cmdQuery(args []string) error {
 	if *follow && *parallel != 0 {
 		return fmt.Errorf("query: -follow streams serially; drop -parallel")
 	}
+	startSec, endSec := window()
 	if remoteAddr != "" {
 		if *parallel != 0 {
 			return fmt.Errorf("query: -parallel is not supported with -remote (the daemon streams serially per query)")
@@ -441,7 +445,14 @@ func cmdQuery(args []string) error {
 		if *topicsArg != "" {
 			topics = strings.Split(*topicsArg, ",")
 		}
-		return remoteQuery(*name, topics, *startSec, *endSec, *chrono, *follow, *quiet)
+		var remoteStart, remoteEnd float64
+		if startSec != nil {
+			remoteStart = *startSec
+		}
+		if endSec != nil {
+			remoteEnd = *endSec
+		}
+		return remoteQuery(*name, topics, remoteStart, remoteEnd, *chrono, *follow, *quiet)
 	}
 	b, err := openBackend(*backend)
 	if err != nil {
@@ -471,14 +482,15 @@ func cmdQuery(args []string) error {
 		return nil
 	}
 	queryStart := time.Now()
-	spec := core.QuerySpec{
-		Topics:  topics,
-		Start:   bagio.TimeFromNanos(int64(*startSec * 1e9)),
-		Workers: *parallel,
+	// The window flows through TransformSpec so an explicit -end 0 is an
+	// epoch bound rather than silently reading as "no bound".
+	ts := core.TransformSpec{StartSec: startSec, EndSec: endSec}
+	spec, err := ts.QuerySpec()
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
 	}
-	if *endSec > 0 {
-		spec.End = bagio.TimeFromNanos(int64(*endSec * 1e9))
-	}
+	spec.Topics = topics
+	spec.Workers = *parallel
 	if *chrono {
 		spec.Order = core.OrderTime
 	}

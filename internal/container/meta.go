@@ -48,6 +48,11 @@ type Meta struct {
 	// TopicDirs lists the encoded topic directory names recorded at
 	// seal time (v2 sealed metas only), sorted.
 	TopicDirs []string
+	// Derivation is the content address of the build derivation that
+	// materialized this container (empty for containers that are not
+	// build outputs). internal/build stamps it after Seal and compares
+	// it on later builds: a matching address makes the rebuild a no-op.
+	Derivation string
 }
 
 // Sealed reports whether the container committed. Legacy v1 containers
@@ -84,6 +89,8 @@ func ReadMeta(root string) (*Meta, error) {
 			m.Gen = gen
 		case strings.HasPrefix(line, "topic="):
 			m.TopicDirs = append(m.TopicDirs, strings.TrimPrefix(line, "topic="))
+		case strings.HasPrefix(line, "deriv="):
+			m.Derivation = strings.TrimPrefix(line, "deriv=")
 		case line == "":
 		default:
 			return nil, fmt.Errorf("container: malformed meta line %q in %s", line, root)
@@ -104,6 +111,9 @@ func writeMeta(fs faultfs.Backend, root string, m *Meta) error {
 	b.WriteString("state=" + m.State + "\n")
 	if m.Gen > 0 {
 		b.WriteString("gen=" + strconv.FormatUint(m.Gen, 10) + "\n")
+	}
+	if m.Derivation != "" {
+		b.WriteString("deriv=" + m.Derivation + "\n")
 	}
 	dirs := append([]string(nil), m.TopicDirs...)
 	sort.Strings(dirs)
@@ -133,6 +143,36 @@ func NewGen() uint64 { return newGen() }
 // what handle caches compare to detect staleness.
 func newGen() uint64 {
 	return uint64(time.Now().UnixNano())<<10 | (genCounter.Add(1) & 0x3ff)
+}
+
+// StampDerivation records a build derivation's content address in the
+// sealed meta of the container rooted at root, preserving the
+// generation and manifest. The address must be a single line. A crash
+// between Seal and the stamp leaves a sealed container without an
+// address, which a later build treats as a cache miss and rebuilds —
+// safe, just not cached.
+func StampDerivation(fs faultfs.Backend, root, addr string) error {
+	if strings.ContainsAny(addr, "\n\r") {
+		return fmt.Errorf("container: derivation address %q spans lines", addr)
+	}
+	m, err := ReadMeta(root)
+	if err != nil {
+		return err
+	}
+	if !m.Sealed() {
+		return fmt.Errorf("container: %s: stamp derivation on unsealed container", root)
+	}
+	m.Derivation = addr
+	return writeMeta(faultfs.Or(fs), root, m)
+}
+
+// Derivation returns the build content address stamped on the
+// container (empty when it is not a build output).
+func (c *Container) Derivation() string {
+	if c.meta == nil {
+		return ""
+	}
+	return c.meta.Derivation
 }
 
 // Seal commits the container: the meta flips to sealed, mints a fresh

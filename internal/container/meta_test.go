@@ -1,0 +1,67 @@
+package container
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bagio"
+)
+
+func TestStampDerivation(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "c")
+	c, err := Create(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := c.CreateTopic(&bagio.Connection{Topic: "/imu", Type: "sensor_msgs/Imu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Append(bagio.Time{Sec: 1}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stamping an unsealed container is refused.
+	if err := StampDerivation(nil, root, "abc123"); err == nil {
+		t.Fatal("stamp accepted on a building container")
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	if gen == 0 {
+		t.Fatal("sealed container has zero generation")
+	}
+	if err := StampDerivation(nil, root, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if err := StampDerivation(nil, root, "two\nlines"); err == nil {
+		t.Error("multi-line address accepted")
+	}
+
+	// The stamp survives a reopen, and neither the generation nor the
+	// topic manifest moved — a stamp must not read as a rebuild.
+	m, err := ReadMeta(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Derivation != "abc123" {
+		t.Errorf("Derivation = %q", m.Derivation)
+	}
+	if m.Gen != gen {
+		t.Errorf("stamp changed generation: %d -> %d", gen, m.Gen)
+	}
+	if len(m.TopicDirs) != 1 || m.TopicDirs[0] != "imu" {
+		t.Errorf("TopicDirs = %v", m.TopicDirs)
+	}
+	reopened, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Derivation() != "abc123" {
+		t.Errorf("reopened Derivation = %q", reopened.Derivation())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bagio"
@@ -47,8 +48,15 @@ type QuerySpec struct {
 	// cross-topic interleaving is arbitrary. Must be 0 with OrderTime:
 	// a chronological merge is inherently serial.
 	Workers int
+	// Stride, when > 1, delivers every Stride-th message of each topic
+	// — the topic's first in-window message, then every Stride-th after
+	// it. Unlike Predicate it is part of the serializable TransformSpec
+	// form, so content-addressed dataset builds can hash it. 0 and 1
+	// deliver everything; negative is an error.
+	Stride int
 	// Predicate, when non-nil, is consulted per message before the
-	// callback; messages it rejects are read but not delivered.
+	// callback; messages it rejects are read but not delivered. Stride
+	// applies first: the predicate sees only stride-surviving messages.
 	Predicate func(MessageRef) bool
 	// Follow tails a bag that is still recording: the query first
 	// delivers a consistent snapshot of everything recorded before it
@@ -114,10 +122,32 @@ func (bag *Bag) QuerySpanContext(ctx context.Context, parent obs.Span, spec Quer
 	if end.Before(spec.Start) {
 		return fmt.Errorf("bora: end time %v before start time %v", end, spec.Start)
 	}
+	if spec.Stride < 0 {
+		return fmt.Errorf("bora: negative stride %d", spec.Stride)
+	}
 	if pred := spec.Predicate; pred != nil {
 		inner := fn
 		fn = func(m MessageRef) error {
 			if !pred(m) {
+				return nil
+			}
+			return inner(m)
+		}
+	}
+	if stride := spec.Stride; stride > 1 {
+		// Per-topic downsampling. The wrap sits outside the predicate
+		// (stride counts in-window messages, the predicate filters the
+		// survivors) and the counters are mutex-guarded because parallel
+		// plans deliver from several goroutines.
+		inner := fn
+		var mu sync.Mutex
+		counts := map[string]int{}
+		fn = func(m MessageRef) error {
+			mu.Lock()
+			n := counts[m.Conn.Topic]
+			counts[m.Conn.Topic] = n + 1
+			mu.Unlock()
+			if n%stride != 0 {
 				return nil
 			}
 			return inner(m)

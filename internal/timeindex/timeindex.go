@@ -109,6 +109,13 @@ func (ix *Index) Query(start, end bagio.Time) []uint32 {
 	// index; equivalently the last window to touch is the one containing
 	// end.
 	last := (end.Nanos() / ix.window) * ix.window
+	if sparse, ok := ix.sparseRange(first, last); ok {
+		var out []uint32
+		for _, ws := range sparse {
+			out = append(out, ix.byStart[ws].positions...)
+		}
+		return out
+	}
 	var out []uint32
 	for ws := first; ws <= last; ws += ix.window {
 		if wl, ok := ix.byStart[ws]; ok {
@@ -116,6 +123,27 @@ func (ix *Index) Query(start, end bagio.Time) []uint32 {
 		}
 	}
 	return out
+}
+
+// sparseRange returns the populated window starts within [first, last]
+// in ascending order when that is cheaper than arithmetic stepping —
+// the half-open-query guard: a bounded start with an unbounded end
+// spans ~2^32 one-second windows, and stepping a map probe through
+// each of them turns a cheap pruned scan into minutes of spinning.
+// ok=false means the dense walk is at least as cheap.
+func (ix *Index) sparseRange(first, last int64) ([]int64, bool) {
+	span := (last-first)/ix.window + 1
+	if span <= int64(len(ix.byStart)) {
+		return nil, false
+	}
+	var starts []int64
+	for ws := range ix.byStart {
+		if ws >= first && ws <= last {
+			starts = append(starts, ws)
+		}
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	return starts, true
 }
 
 // QuerySorted is Query with the positions returned in ascending
@@ -142,6 +170,9 @@ func (ix *Index) WindowsScanned(start, end bagio.Time) int {
 	}
 	first := (start.Nanos() / ix.window) * ix.window
 	last := (end.Nanos() / ix.window) * ix.window
+	if sparse, ok := ix.sparseRange(first, last); ok {
+		return len(sparse)
+	}
 	n := 0
 	for ws := first; ws <= last; ws += ix.window {
 		if _, ok := ix.byStart[ws]; ok {

@@ -266,3 +266,29 @@ func TestMarshalQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHalfOpenQueryTerminates pins the sparse-range guard: a bounded
+// start with an unbounded end spans billions of window slots, and the
+// query must walk the populated windows instead of stepping a map
+// probe through every empty one. With 1ns windows this test only
+// terminates through the sparse path.
+func TestHalfOpenQueryTerminates(t *testing.T) {
+	ix := New(time.Nanosecond)
+	for i := uint32(0); i < 100; i++ {
+		ix.Add(ts(1_600_000_000+i, 500), i)
+	}
+	got := ix.QuerySorted(ts(1_600_000_050, 0), bagio.MaxTime)
+	if len(got) != 50 || got[0] != 50 || got[49] != 99 {
+		t.Fatalf("half-open query returned %d positions (%v...)", len(got), got[:min(len(got), 3)])
+	}
+	if n := ix.WindowsScanned(ts(1_600_000_050, 0), bagio.MaxTime); n != 50 {
+		t.Fatalf("WindowsScanned = %d", n)
+	}
+	// The dense and sparse paths agree on a bounded range.
+	// (Entries sit 500ns past each second, so second 20's entry is just
+	// outside the [10.0, 20.0] bound: ten survivors.)
+	dense := ix.QuerySorted(ts(1_600_000_010, 0), ts(1_600_000_020, 0))
+	if len(dense) != 10 {
+		t.Fatalf("bounded query returned %d positions", len(dense))
+	}
+}
